@@ -1,0 +1,12 @@
+"""Shared helpers for the figure benchmarks."""
+
+from repro.analysis.tables import render_experiment
+
+
+def run_once(benchmark, driver, **kwargs):
+    """Execute *driver* exactly once under the benchmark timer and print
+    the measured series next to the paper's claim."""
+    result = benchmark.pedantic(driver, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(render_experiment(result))
+    return result

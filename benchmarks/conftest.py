@@ -1,0 +1,18 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation:
+it runs the corresponding experiment driver once under pytest-benchmark
+(timing the whole experiment), prints the measured series next to the
+paper's claim, and asserts the qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+collect_ignore_glob = []
+
+
+def run_once(benchmark, driver, **kwargs):
+    """Execute *driver* exactly once under the benchmark timer."""
+    return benchmark.pedantic(driver, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation benchmarks for TEMPO's individual design choices.
+
+Not figures from the paper -- these isolate the contribution of each
+mechanism DESIGN.md calls out: the two prefetch destinations, the
+transaction-queue grouping, the activation-latency budget, and the
+choice of memory scheduler.
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import ablations
+
+
+def test_ablation_prefetch_destinations(benchmark):
+    result = run_once(benchmark, ablations.prefetch_destinations, length=14000)
+    for row in result["rows"]:
+        # Row-buffer prefetching alone recovers part of the benefit ...
+        assert row["row_buffer_only"] > 0.02, row
+        # ... and adding the LLC prefetch recovers strictly more.
+        assert row["row_buffer_plus_llc"] > row["row_buffer_only"], row
+
+
+def test_ablation_txq_grouping(benchmark):
+    result = run_once(benchmark, ablations.txq_grouping, length=14000)
+    for row in result["rows"]:
+        assert row["with_grouping"] > 0.04, row
+        # Grouping is a refinement: it must never cost more than a
+        # couple of points relative to the ungrouped scheduler.
+        assert row["with_grouping"] >= row["without_grouping"] - 0.02, row
+
+
+def test_ablation_prefetch_latency(benchmark):
+    result = run_once(benchmark, ablations.prefetch_row_latency, length=14000)
+    rows = {row["prefetch_row_cycles"]: row for row in result["rows"]}
+    # Within the paper's 60-100 cycle budget the LLC prefetch is timely.
+    assert rows[60]["llc_fraction"] > 0.8
+    # Past the slack window, LLC timeliness collapses and replays fall
+    # back to row-buffer hits -- retaining roughly half of the benefit.
+    assert rows[100]["llc_fraction"] < 0.2
+    assert rows[100]["row_buffer_fraction"] > 0.6
+    assert 0.0 < rows[100]["performance_improvement"] < rows[60]["performance_improvement"]
+    # Pathologically slow prefetches hog banks long enough to *hurt* --
+    # the flip side of the paper's "delaying prefetches counteracts
+    # TEMPO's benefits" (Sec. 4.3).
+    assert rows[200]["performance_improvement"] < rows[140]["performance_improvement"]
+    # Faster prefetch never performs worse.
+    assert rows[40]["performance_improvement"] >= rows[200]["performance_improvement"] - 0.01
+
+
+def test_ablation_schedulers(benchmark):
+    result = run_once(benchmark, ablations.scheduler_sensitivity, length=14000)
+    for row in result["rows"]:
+        assert row["performance_improvement"] > 0.02, row

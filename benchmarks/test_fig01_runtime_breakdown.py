@@ -1,0 +1,22 @@
+"""Figure 1: fraction of runtime spent in DRAM page-table accesses,
+DRAM replay accesses, and other DRAM accesses (baseline, no TEMPO).
+
+Paper shape: PTW and replay DRAM time are each a large fraction
+(roughly 10-40% / 10-30%) of runtime for every big-data workload.
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig01_runtime_breakdown
+
+
+def test_fig01_runtime_breakdown(benchmark):
+    result = run_once(benchmark, fig01_runtime_breakdown, length=20000)
+    for row in result["rows"]:
+        assert row["dram_ptw_fraction"] > 0.04, row
+        assert row["dram_replay_fraction"] > 0.05, row
+        total_dram = (
+            row["dram_ptw_fraction"]
+            + row["dram_replay_fraction"]
+            + row["dram_other_fraction"]
+        )
+        assert total_dram < 1.0

@@ -1,0 +1,18 @@
+"""Figure 4: fraction of DRAM *references* devoted to page-table walks,
+replays, and other accesses; plus the leaf-PT share (paper: 96%+) and
+the replay-follows-PTW rate (paper: 98%+).
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig04_dram_reference_breakdown
+
+
+def test_fig04_dram_reference_breakdown(benchmark):
+    result = run_once(benchmark, fig04_dram_reference_breakdown, length=20000)
+    for row in result["rows"]:
+        assert 0.05 < row["ptw_fraction"] < 0.60, row
+        assert row["replay_fraction"] > 0.10, row
+        assert row["leaf_fraction_of_ptw"] > 0.60, row
+        assert row["replay_follows_ptw_rate"] > 0.90, row
+    mean_leaf = sum(r["leaf_fraction_of_ptw"] for r in result["rows"]) / len(result["rows"])
+    assert mean_leaf > 0.80

@@ -1,0 +1,17 @@
+"""Figure 10: TEMPO's headline performance (paper: 10-30%) and energy
+(paper: 1-14%) improvements, plus the fraction of each workload's
+footprint backed by 2 MB superpages (paper: >50% for most).
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig10_performance_energy
+
+
+def test_fig10_performance_energy(benchmark):
+    result = run_once(benchmark, fig10_performance_energy, length=20000)
+    for row in result["rows"]:
+        assert row["performance_improvement"] > 0.04, row
+        assert row["energy_improvement"] > 0.0, row
+        assert row["superpage_fraction"] > 0.35, row
+    best = max(row["performance_improvement"] for row in result["rows"])
+    assert best > 0.12

@@ -1,0 +1,17 @@
+"""Figure 11 (left): where TEMPO-aided replays are served from.
+
+Paper shape: the bulk (75%+) hit in the LLC, most of the rest in the row
+buffer, and only a tiny pathological fraction is unaided.
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig11_replay_service
+
+
+def test_fig11_replay_service_breakdown(benchmark):
+    result = run_once(benchmark, fig11_replay_service, length=20000)
+    for row in result["rows"]:
+        assert row["llc_fraction"] > 0.60, row
+        assert row["unaided_fraction"] < 0.15, row
+        covered = row["llc_fraction"] + row["row_buffer_fraction"]
+        assert covered > 0.85, row

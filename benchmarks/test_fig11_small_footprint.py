@@ -1,0 +1,19 @@
+"""Figure 11 (right): TEMPO must not harm small-footprint Spec/Parsec
+workloads (paper: perf ~+1-2%, energy ~1%, never slower).
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig11_small_footprint
+
+
+def test_fig11_small_footprint_do_no_harm(benchmark):
+    result = run_once(benchmark, fig11_small_footprint, length=14000)
+    small = [row for row in result["rows"] if row["group"] == "small"]
+    big = [row for row in result["rows"] if row["group"] == "bigdata"]
+    assert small and big
+    for row in small:
+        assert row["performance_improvement"] > -0.02, row
+        assert row["energy_improvement"] > -0.02, row
+    mean_small = sum(r["performance_improvement"] for r in small) / len(small)
+    mean_big = sum(r["performance_improvement"] for r in big) / len(big)
+    assert mean_big > mean_small + 0.03

@@ -1,0 +1,39 @@
+"""Figure 13: TEMPO's benefit as a function of superpage coverage.
+
+The x-axis sweeps the paper's seven page-size configurations (4 KB only;
+THP with memhog at 75/50/25/0%; hugetlbfs 2 MB; hugetlbfs 1 GB).  Paper
+shape: benefit decreases as coverage rises, the 4 KB-only point is the
+best case (25%+), and reasonable fragmentation keeps 10-30% benefits.
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig13_superpage_sensitivity
+
+
+def test_fig13_superpage_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        fig13_superpage_sensitivity,
+        workloads=("xsbench", "graph500", "mcf", "illustris"),
+        length=14000,
+    )
+    by_workload = {}
+    for row in result["rows"]:
+        by_workload.setdefault(row["workload"], {})[row["variant"]] = row
+    for name, variants in by_workload.items():
+        best = variants["4k-only"]["performance_improvement"]
+        assert best > 0.10, name
+        # Coverage rises monotonically along the paper's configuration
+        # order from THP-fragmented to hugetlbfs.
+        assert variants["4k-only"]["superpage_fraction"] == 0.0
+        assert (
+            variants["thp-memhog75"]["superpage_fraction"]
+            < variants["thp-memhog0"]["superpage_fraction"]
+            <= variants["hugetlbfs-2m"]["superpage_fraction"]
+        )
+        # More superpage coverage -> less TEMPO benefit (the core trend).
+        assert best >= variants["thp-memhog0"]["performance_improvement"] - 0.02, name
+        assert (
+            variants["thp-memhog75"]["performance_improvement"]
+            >= variants["hugetlbfs-2m"]["performance_improvement"] - 0.03
+        ), name

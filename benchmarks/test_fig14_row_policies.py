@@ -1,0 +1,15 @@
+"""Figure 14: TEMPO under adaptive / open / closed row policies, each
+normalized to its own baseline.
+
+Paper shape: TEMPO improves all three policies for every workload
+(e.g. xsbench's worst case, closed-row, is still boosted ~25%).
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig14_row_policies
+
+
+def test_fig14_row_policies(benchmark):
+    result = run_once(benchmark, fig14_row_policies, length=20000)
+    for row in result["rows"]:
+        assert row["performance_improvement"] > 0.02, row

@@ -1,0 +1,25 @@
+"""Figure 17: sub-row buffers (8 x 1 KB, FOA and POA allocation) with a
+sweep of how many sub-rows are dedicated to TEMPO's prefetches.
+
+Paper shape: TEMPO improves both allocation schemes; dedicating ~2 of 8
+sub-rows is the sweet spot, while dedicating too many (4+) deprioritizes
+demand traffic and gives back some of the gain.
+"""
+
+from benchmarks._util import run_once
+from repro.analysis import fig17_subrows
+
+
+def test_fig17_subrows(benchmark):
+    result = run_once(benchmark, fig17_subrows, length=5000, dedicated_options=(0, 1, 2, 4))
+    rows = result["rows"]
+    for row in rows:
+        assert row["ws_improvement"] > 0.0, row
+
+    def mean_ws(dedicated):
+        matched = [row["ws_improvement"] for row in rows if row["dedicated_subrows"] == dedicated]
+        return sum(matched) / len(matched)
+
+    # Dedicating a couple of sub-rows should not lose to dedicating half
+    # the buffer (the paper's "too many hurts" trend).
+    assert mean_ws(2) >= mean_ws(4) - 0.005

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload with and without TEMPO.
+
+This is the 30-second tour of the library: build a trace for the paper's
+most translation-bound workload (xsbench), simulate the baseline machine
+and the TEMPO machine on the same trace, and print what changed.
+
+Run with::
+
+    python examples/quickstart.py [workload] [length]
+"""
+
+import sys
+
+from repro import run_baseline_and_tempo, speedup_fraction
+from repro.sim.runner import energy_fraction
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "xsbench"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 12000
+
+    print("Simulating %r (%d references) ..." % (workload, length))
+    baseline, tempo = run_baseline_and_tempo(workload, length=length)
+
+    base_core = baseline.core
+    print()
+    print("Baseline machine (no TEMPO)")
+    print("  runtime:                 %d cycles" % base_core.cycles)
+    print("  DRAM page-table walks:   %5.1f%% of runtime" % (100 * base_core.runtime.fraction("ptw")))
+    print("  DRAM replay accesses:    %5.1f%% of runtime" % (100 * base_core.runtime.fraction("replay")))
+    print("  other DRAM accesses:     %5.1f%% of runtime" % (100 * base_core.runtime.fraction("other")))
+    print("  replays following a DRAM walk that also hit DRAM: %.1f%%"
+          % (100 * base_core.dram_refs.replay_follows_ptw_rate()))
+    print("  2 MB superpage coverage: %5.1f%% of footprint" % (100 * baseline.superpage_fraction))
+
+    tempo_core = tempo.core
+    service = tempo_core.replay_service
+    print()
+    print("TEMPO machine (translation-triggered prefetching)")
+    print("  runtime:                 %d cycles" % tempo_core.cycles)
+    print("  replays served from LLC:        %5.1f%%" % (100 * service.fraction("llc")))
+    print("  replays served from row buffer: %5.1f%%" % (100 * service.fraction("row_buffer")))
+    print("  replays unaided:                %5.1f%%" % (100 * service.fraction("unaided")))
+
+    print()
+    print("TEMPO improvement: %.1f%% performance, %.1f%% energy"
+          % (100 * speedup_fraction(baseline, tempo),
+             100 * energy_fraction(baseline, tempo)))
+
+
+if __name__ == "__main__":
+    main()

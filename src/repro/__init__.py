@@ -1,0 +1,56 @@
+"""TEMPO: Translation-Triggered Prefetching -- a full-system reproduction
+of Bhattacharjee's ASPLOS 2017 paper.
+
+Quick start::
+
+    from repro import run_baseline_and_tempo, speedup_fraction
+    baseline, tempo = run_baseline_and_tempo("xsbench", length=24000)
+    print("TEMPO speeds xsbench up by %.1f%%"
+          % (100 * speedup_fraction(baseline, tempo)))
+
+The public surface:
+
+* :func:`~repro.sim.runner.run_workload` /
+  :func:`~repro.sim.runner.run_baseline_and_tempo` -- one-call runs.
+* :func:`~repro.common.config.default_system_config` -- the Figure-9
+  machine; every structure is a dataclass you can override.
+* :mod:`repro.workloads` -- the paper's eight big-data workloads plus
+  small-footprint stand-ins.
+* :mod:`repro.analysis` -- one driver per evaluation figure.
+* The subsystem packages (``vm``, ``mmu``, ``cache``, ``dram``,
+  ``sched``, ``core``, ``sim``) for anyone composing a custom machine.
+"""
+
+from repro.common.config import (
+    SystemConfig,
+    TempoConfig,
+    default_system_config,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.multicore import MulticoreSimulator
+from repro.sim.runner import (
+    energy_fraction,
+    run_baseline_and_tempo,
+    run_workload,
+    speedup_fraction,
+)
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import make_trace, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "TempoConfig",
+    "default_system_config",
+    "SimulationResult",
+    "SystemSimulator",
+    "MulticoreSimulator",
+    "run_workload",
+    "run_baseline_and_tempo",
+    "speedup_fraction",
+    "energy_fraction",
+    "make_trace",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Experiment drivers and reporting.
+
+``expectations`` encodes what the paper reports for every figure;
+``experiments`` contains one driver per evaluation figure (E1-E17 in
+DESIGN.md); ``tables`` renders driver output next to the paper's numbers
+for EXPERIMENTS.md and the benchmark logs.
+"""
+
+from repro.analysis.expectations import PAPER_EXPECTATIONS
+from repro.analysis.experiments import (
+    fig01_runtime_breakdown,
+    fig04_dram_reference_breakdown,
+    fig10_performance_energy,
+    fig11_replay_service,
+    fig11_small_footprint,
+    fig12_imp_interaction,
+    fig13_superpage_sensitivity,
+    fig14_row_policies,
+    fig15_wait_cycles,
+    fig16_bliss,
+    fig17_subrows,
+)
+from repro.analysis.tables import format_table, render_experiment
+from repro.analysis import ablations
+from repro.analysis.report import generate_report, write_report
+
+__all__ = [
+    "PAPER_EXPECTATIONS",
+    "fig01_runtime_breakdown",
+    "fig04_dram_reference_breakdown",
+    "fig10_performance_energy",
+    "fig11_replay_service",
+    "fig11_small_footprint",
+    "fig12_imp_interaction",
+    "fig13_superpage_sensitivity",
+    "fig14_row_policies",
+    "fig15_wait_cycles",
+    "fig16_bliss",
+    "fig17_subrows",
+    "format_table",
+    "render_experiment",
+    "ablations",
+    "generate_report",
+    "write_report",
+]

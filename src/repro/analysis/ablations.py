@@ -1,0 +1,122 @@
+"""Ablation studies for TEMPO's individual design choices.
+
+The paper motivates several mechanisms (row-buffer prefetch, LLC
+prefetch, TxQ grouping, the non-speculative address construction); these
+drivers isolate each one's contribution on the default machine.  They go
+beyond the paper's own figures and back the DESIGN.md design-choice
+discussion; `benchmarks/test_ablation_*.py` regenerates them.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import default_system_config
+from repro.sim.metrics import performance_improvement
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import make_trace
+
+DEFAULT_WORKLOADS = ("xsbench", "graph500", "illustris", "mcf")
+
+
+def _improvement(baseline, variant_config, trace, seed=0):
+    result = SystemSimulator(variant_config, [trace], seed=seed).run()
+    return performance_improvement(baseline.total_cycles, result.total_cycles)
+
+
+def prefetch_destinations(workloads=DEFAULT_WORKLOADS, length=10000, seed=0):
+    """TEMPO off vs row-buffer-only vs row buffer + LLC.
+
+    Separates the two benefit sources of the paper's Figure 3: the row
+    prefetch alone turns replay conflicts into row hits; the LLC
+    prefetch removes the DRAM access entirely.
+    """
+    rows = []
+    for name in workloads:
+        trace = make_trace(name, length=length, seed=seed)
+        config = default_system_config()
+        baseline = SystemSimulator(config.with_tempo(False), [trace], seed=seed).run()
+        rows.append(
+            {
+                "workload": name,
+                "row_buffer_only": _improvement(
+                    baseline, config.with_tempo(True, llc_prefetch=False), trace, seed
+                ),
+                "row_buffer_plus_llc": _improvement(
+                    baseline, config.with_tempo(True), trace, seed
+                ),
+            }
+        )
+    return {"figure": "ablation_destinations", "rows": rows}
+
+
+def txq_grouping(workloads=DEFAULT_WORKLOADS, length=10000, seed=0):
+    """TEMPO with and without the Sec. 4.3b transaction-queue scanning."""
+    rows = []
+    for name in workloads:
+        trace = make_trace(name, length=length, seed=seed)
+        config = default_system_config()
+        baseline = SystemSimulator(config.with_tempo(False), [trace], seed=seed).run()
+        rows.append(
+            {
+                "workload": name,
+                "without_grouping": _improvement(
+                    baseline, config.with_tempo(True, txq_grouping=False), trace, seed
+                ),
+                "with_grouping": _improvement(
+                    baseline, config.with_tempo(True), trace, seed
+                ),
+            }
+        )
+    return {"figure": "ablation_txq_grouping", "rows": rows}
+
+
+def prefetch_row_latency(workload="xsbench", length=10000, seed=0,
+                         latencies=(40, 60, 100, 140, 200)):
+    """Sensitivity to the array->row-buffer activation latency.
+
+    The paper quotes 60-100 cycles; once the prefetch takes longer than
+    the slack window, LLC timeliness collapses and replays fall back to
+    row-buffer hits -- this sweep locates that cliff.
+    """
+    trace = make_trace(workload, length=length, seed=seed)
+    config = default_system_config()
+    baseline = SystemSimulator(config.with_tempo(False), [trace], seed=seed).run()
+    rows = []
+    for latency in latencies:
+        tempo_config = config.with_tempo(True, prefetch_row_cycles=latency)
+        result = SystemSimulator(tempo_config, [trace], seed=seed).run()
+        service = result.cores[0].replay_service
+        rows.append(
+            {
+                "prefetch_row_cycles": latency,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, result.total_cycles
+                ),
+                "llc_fraction": service.fraction("llc"),
+                "row_buffer_fraction": service.fraction("row_buffer"),
+            }
+        )
+    return {"figure": "ablation_prefetch_latency", "workload": workload, "rows": rows}
+
+
+def scheduler_sensitivity(workloads=DEFAULT_WORKLOADS, length=10000, seed=0,
+                          schedulers=("fcfs", "frfcfs", "bliss", "atlas")):
+    """TEMPO's benefit under every implemented memory scheduler."""
+    rows = []
+    for name in workloads:
+        trace = make_trace(name, length=length, seed=seed)
+        for scheduler in schedulers:
+            config = default_system_config()
+            config = config.copy_with(
+                scheduler=replace(config.scheduler, policy=scheduler)
+            )
+            baseline = SystemSimulator(config.with_tempo(False), [trace], seed=seed).run()
+            rows.append(
+                {
+                    "workload": name,
+                    "scheduler": scheduler,
+                    "performance_improvement": _improvement(
+                        baseline, config.with_tempo(True), trace, seed
+                    ),
+                }
+            )
+    return {"figure": "ablation_schedulers", "rows": rows}

@@ -1,0 +1,81 @@
+"""What the paper reports, figure by figure.
+
+These constants are the "paper" column of EXPERIMENTS.md and the oracle
+the integration tests compare shapes against.  Values are ranges because
+the paper reports per-workload bars read off charts.
+"""
+
+PAPER_EXPECTATIONS = {
+    "fig01": {
+        "claim": "DRAM-PTW-Access and DRAM-Replay-Access are each a large "
+        "fraction of runtime for big-data workloads",
+        "ptw_runtime_fraction": (0.10, 0.40),
+        "replay_runtime_fraction": (0.10, 0.30),
+    },
+    "fig04": {
+        "claim": "20-40% of DRAM references are page-table accesses, a "
+        "similar share are replays; 96%+ of PTW DRAM accesses are leaf; "
+        "98%+ of DRAM PT lookups are followed by DRAM replays",
+        "ptw_reference_fraction": (0.20, 0.45),
+        "replay_reference_fraction": (0.15, 0.45),
+        "leaf_fraction_of_ptw": 0.96,
+        "replay_follows_ptw_rate": 0.98,
+    },
+    "fig10": {
+        "claim": "TEMPO improves performance 10-30% and energy 1-14%; "
+        "most workloads back >50% of footprint with 2MB superpages",
+        "performance_improvement": (0.10, 0.30),
+        "energy_improvement": (0.01, 0.14),
+        "superpage_fraction_min": 0.50,
+    },
+    "fig11_left": {
+        "claim": "75%+ of TEMPO-aided replays hit in the LLC; most of the "
+        "rest hit in the row buffer; a tiny fraction is unaided",
+        "llc_fraction_min": 0.75,
+        "unaided_fraction_max": 0.10,
+    },
+    "fig11_right": {
+        "claim": "small-footprint workloads are not slowed down: perf "
+        "changes by about +1-2% and energy by about 1%",
+        "performance_band": (-0.02, 0.05),
+        "energy_band": (-0.02, 0.05),
+    },
+    "fig12": {
+        "claim": "with IMP prefetching TEMPO is even more useful -- up to "
+        "~40% improvement, ~10% over the no-prefetch case for the most "
+        "irregular workloads",
+        "improvement_with_imp_exceeds_without": True,
+    },
+    "fig13": {
+        "claim": "TEMPO's benefit falls as superpage coverage rises but "
+        "stays positive; 4KB-only is the best case (25%+), and reasonable "
+        "fragmentation keeps benefits at 10-30%",
+        "benefit_decreases_with_coverage": True,
+        "benefit_4k_only_min": 0.15,
+    },
+    "fig14": {
+        "claim": "TEMPO improves adaptive, open, and closed row policies; "
+        "canneal is aided most under open rows; illustris prefers closed",
+        "all_policies_positive": True,
+    },
+    "fig15": {
+        "claim": "waiting 5-15 cycles before closing page-table rows helps "
+        "by 1-4%, with 10 cycles the best choice",
+        "best_wait": 10,
+        "delta_band": (0.0, 0.06),
+    },
+    "fig16": {
+        "claim": "weighted speedup improves in every BLISS configuration; "
+        "half-weight prefetch counting and a 15-cycle grace period are "
+        "the best choices; the slowest app speeds up 10%+",
+        "all_configs_improve_ws": True,
+        "best_prefetch_weight": 0.5,
+        "best_grace_period": 15,
+    },
+    "fig17": {
+        "claim": "with 8 sub-row buffers, dedicating 2 to prefetches is "
+        "best (~15% weighted speedup, ~20% slowest-app gains); dedicating "
+        "too many hurts",
+        "best_dedicated": 2,
+    },
+}

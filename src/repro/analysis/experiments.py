@@ -1,0 +1,391 @@
+"""One driver per evaluation figure (DESIGN.md's experiment index).
+
+Every driver returns a dict with a ``rows`` list (one entry per bar /
+point / series element in the paper's figure) plus metadata.  Drivers
+take ``length`` (trace records per workload) so benchmarks can trade
+fidelity for speed; the EXPERIMENTS.md numbers use the defaults.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import default_system_config
+from repro.sim.metrics import energy_improvement, performance_improvement
+from repro.sim.multicore import MulticoreSimulator
+from repro.sim.runner import run_baseline_and_tempo, run_workload
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import BIGDATA_WORKLOADS, SMALL_WORKLOADS, make_trace
+
+BIGDATA_NAMES = tuple(workload.name for workload in BIGDATA_WORKLOADS)
+SMALL_NAMES = tuple(workload.name for workload in SMALL_WORKLOADS)
+
+#: Multiprogrammed mixes (paper Sec. 6.3 uses Spec/Parsec mixes with a
+#: range of memory intensities; each mix pairs intensive and light apps).
+MULTIPROGRAM_MIXES = (
+    ("xsbench", "mcf", "bzip2_small", "gcc_small"),
+    ("graph500", "canneal", "astar_small", "swaptions_small"),
+    ("illustris", "spmv", "freqmine_small", "blackscholes_small"),
+)
+
+#: All-intensive mixes for the sub-row study: dedicating sub-rows to
+#: prefetches only matters under heavy bank pressure, where prefetched
+#: segments face eviction before their replays arrive.
+SUBROW_MIXES = (
+    ("xsbench", "graph500", "illustris", "mcf"),
+    ("spmv", "canneal", "lsh", "sgms"),
+)
+
+
+def _bigdata_subset(workloads):
+    return BIGDATA_NAMES if workloads is None else tuple(workloads)
+
+
+# ----------------------------------------------------------------------
+# E1 / Figure 1 -- runtime breakdown
+# ----------------------------------------------------------------------
+
+def fig01_runtime_breakdown(workloads=None, length=24000, seed=0):
+    """Fraction of runtime in DRAM-PTW / DRAM-Replay / DRAM-Other."""
+    rows = []
+    for name in _bigdata_subset(workloads):
+        result = run_workload(
+            name, default_system_config().with_tempo(False), length=length, seed=seed
+        )
+        runtime = result.core.runtime
+        rows.append(
+            {
+                "workload": name,
+                "dram_ptw_fraction": runtime.fraction("ptw"),
+                "dram_replay_fraction": runtime.fraction("replay"),
+                "dram_other_fraction": runtime.fraction("other"),
+            }
+        )
+    return {"figure": "fig01", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E4 / Figure 4 -- DRAM reference breakdown
+# ----------------------------------------------------------------------
+
+def fig04_dram_reference_breakdown(workloads=None, length=24000, seed=0):
+    """DRAM *reference* fractions plus the leaf-PT and follow rates."""
+    rows = []
+    for name in _bigdata_subset(workloads):
+        result = run_workload(
+            name, default_system_config().with_tempo(False), length=length, seed=seed
+        )
+        refs = result.core.dram_refs
+        rows.append(
+            {
+                "workload": name,
+                "ptw_fraction": refs.fraction("ptw"),
+                "replay_fraction": refs.fraction("replay"),
+                "other_fraction": refs.fraction("other"),
+                "leaf_fraction_of_ptw": refs.leaf_fraction_of_ptw(),
+                "replay_follows_ptw_rate": refs.replay_follows_ptw_rate(),
+            }
+        )
+    return {"figure": "fig04", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E10 / Figure 10 -- headline performance + energy + superpage coverage
+# ----------------------------------------------------------------------
+
+def fig10_performance_energy(workloads=None, length=24000, seed=0):
+    rows = []
+    for name in _bigdata_subset(workloads):
+        baseline, tempo = run_baseline_and_tempo(name, length=length, seed=seed)
+        rows.append(
+            {
+                "workload": name,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+                "energy_improvement": energy_improvement(
+                    baseline.energy_total, tempo.energy_total
+                ),
+                "superpage_fraction": baseline.superpage_fraction,
+            }
+        )
+    return {"figure": "fig10", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E11 left / Figure 11 left -- replay service breakdown under TEMPO
+# ----------------------------------------------------------------------
+
+def fig11_replay_service(workloads=None, length=24000, seed=0):
+    rows = []
+    for name in _bigdata_subset(workloads):
+        result = run_workload(
+            name, default_system_config().with_tempo(True), length=length, seed=seed
+        )
+        service = result.core.replay_service
+        rows.append(
+            {
+                "workload": name,
+                "llc_fraction": service.fraction("llc"),
+                "row_buffer_fraction": service.fraction("row_buffer"),
+                "unaided_fraction": service.fraction("unaided"),
+            }
+        )
+    return {"figure": "fig11_left", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E11 right / Figure 11 right -- small-footprint do-no-harm
+# ----------------------------------------------------------------------
+
+def fig11_small_footprint(length=16000, seed=0):
+    rows = []
+    for group, names in (("bigdata", BIGDATA_NAMES), ("small", SMALL_NAMES)):
+        for name in names:
+            baseline, tempo = run_baseline_and_tempo(name, length=length, seed=seed)
+            rows.append(
+                {
+                    "workload": name,
+                    "group": group,
+                    "performance_improvement": performance_improvement(
+                        baseline.total_cycles, tempo.total_cycles
+                    ),
+                    "energy_improvement": energy_improvement(
+                        baseline.energy_total, tempo.energy_total
+                    ),
+                }
+            )
+    return {"figure": "fig11_right", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E12 / Figure 12 -- interaction with IMP prefetching
+# ----------------------------------------------------------------------
+
+def fig12_imp_interaction(workloads=None, length=24000, seed=0):
+    rows = []
+    for name in _bigdata_subset(workloads):
+        config = default_system_config()
+        imp_config = config.copy_with(imp=replace(config.imp, enabled=True))
+        baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
+        baseline_imp, tempo_imp = run_baseline_and_tempo(
+            name, imp_config, length=length, seed=seed
+        )
+        rows.append(
+            {
+                "workload": name,
+                "improvement_no_imp": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+                "improvement_with_imp": performance_improvement(
+                    baseline_imp.total_cycles, tempo_imp.total_cycles
+                ),
+                "energy_no_imp": energy_improvement(
+                    baseline.energy_total, tempo.energy_total
+                ),
+                "energy_with_imp": energy_improvement(
+                    baseline_imp.energy_total, tempo_imp.energy_total
+                ),
+            }
+        )
+    return {"figure": "fig12", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E13 / Figure 13 -- superpage sensitivity
+# ----------------------------------------------------------------------
+
+def _vm_variants():
+    """The paper's page-size configurations, in rising-coverage order."""
+    base = default_system_config().vm
+    return (
+        ("4k-only", replace(base, thp_enabled=False)),
+        ("thp-memhog75", replace(base, thp_enabled=True, memhog_fraction=0.75)),
+        ("thp-memhog50", replace(base, thp_enabled=True, memhog_fraction=0.50)),
+        ("thp-memhog25", replace(base, thp_enabled=True, memhog_fraction=0.25)),
+        ("thp-memhog0", replace(base, thp_enabled=True, memhog_fraction=0.0)),
+        ("hugetlbfs-2m", replace(base, hugetlbfs_2m=True)),
+        ("hugetlbfs-1g", replace(base, hugetlbfs_1g=True)),
+    )
+
+
+def fig13_superpage_sensitivity(workloads=None, length=16000, seed=0):
+    names = _bigdata_subset(workloads)
+    rows = []
+    for name in names:
+        for label, vm_config in _vm_variants():
+            config = default_system_config().copy_with(vm=vm_config)
+            baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
+            rows.append(
+                {
+                    "workload": name,
+                    "variant": label,
+                    "superpage_fraction": baseline.superpage_fraction,
+                    "performance_improvement": performance_improvement(
+                        baseline.total_cycles, tempo.total_cycles
+                    ),
+                }
+            )
+    return {"figure": "fig13", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E14 / Figure 14 -- row-buffer management policies
+# ----------------------------------------------------------------------
+
+def fig14_row_policies(workloads=None, length=24000, seed=0):
+    rows = []
+    for name in _bigdata_subset(workloads):
+        for policy in ("adaptive", "open", "closed"):
+            config = default_system_config()
+            config = config.copy_with(row_policy=replace(config.row_policy, policy=policy))
+            baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
+            rows.append(
+                {
+                    "workload": name,
+                    "policy": policy,
+                    "performance_improvement": performance_improvement(
+                        baseline.total_cycles, tempo.total_cycles
+                    ),
+                }
+            )
+    return {"figure": "fig14", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E15 / Figure 15 -- anticipation wait-cycle sweep
+# ----------------------------------------------------------------------
+
+def fig15_wait_cycles(workloads=None, length=24000, seed=0, waits=(0, 5, 10, 15)):
+    """Besides end-to-end improvement, report the *mechanism* metric the
+    wait window targets: the row-buffer hit rate of DRAM page-table
+    accesses (keeping a just-read PT row open lets queued translations
+    to the same row hit)."""
+    rows = []
+    for name in _bigdata_subset(workloads):
+        trace = make_trace(name, length=length, seed=seed)
+        baseline = SystemSimulator(
+            default_system_config().with_tempo(False), [trace], seed=seed
+        ).run()
+        for wait in waits:
+            config = default_system_config().with_tempo(True, wait_cycles=wait)
+            simulator = SystemSimulator(config, [trace], seed=seed)
+            tempo = simulator.run()
+            stats = simulator.controller.stats.as_dict()
+            pt_hits = stats.get("controller.outcome_pt_hit", 0)
+            pt_total = (
+                pt_hits
+                + stats.get("controller.outcome_pt_miss", 0)
+                + stats.get("controller.outcome_pt_conflict", 0)
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "wait_cycles": wait,
+                    "performance_improvement": performance_improvement(
+                        baseline.total_cycles, tempo.total_cycles
+                    ),
+                    "pt_row_hit_rate": pt_hits / pt_total if pt_total else 0.0,
+                }
+            )
+    return {"figure": "fig15", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# E16 / Figure 16 -- BLISS fairness scheduling
+# ----------------------------------------------------------------------
+
+def _bliss_config(prefetch_increment=1, grace=15, tempo=True):
+    config = default_system_config()
+    config = config.copy_with(
+        scheduler=replace(config.scheduler, policy="bliss",
+                          bliss_prefetch_increment=prefetch_increment)
+    )
+    return config.with_tempo(tempo, grace_period_cycles=grace) if tempo else config.with_tempo(False)
+
+
+def _run_mix(mix, config, length, seed, alone_results=None):
+    traces = [make_trace(name, length=length, seed=seed) for name in mix]
+    simulator = MulticoreSimulator(config, traces, seed=seed)
+    return simulator.run(alone_results=alone_results)
+
+
+def fig16_bliss(mixes=None, length=6000, seed=0,
+                prefetch_weights=(0, 1, 2), grace_periods=(0, 15, 30)):
+    """Weighted speedup + max slowdown vs prefetch weight and grace
+    period, averaged over the mixes (paper averages over its mixes too).
+
+    Prefetch weights are BLISS counter increments relative to the demand
+    increment of 2 -- i.e. 0, half, and equal weight.
+    """
+    mixes = MULTIPROGRAM_MIXES if mixes is None else tuple(mixes)
+    weight_rows = []
+    grace_rows = []
+    for mix in mixes:
+        base_result = _run_mix(mix, _bliss_config(tempo=False), length, seed)
+        # Alone runs do not depend on the swept sharing parameters;
+        # reuse the baseline's across the sweep.
+        alone = base_result.alone
+        for weight in prefetch_weights:
+            config = _bliss_config(prefetch_increment=weight, grace=15)
+            result = _run_mix(mix, config, length, seed, alone_results=alone)
+            weight_rows.append(
+                {
+                    "mix": "+".join(mix),
+                    "prefetch_weight": weight / 2.0,
+                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
+                    / base_result.weighted_speedup,
+                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
+                    / base_result.max_slowdown,
+                }
+            )
+        for grace in grace_periods:
+            config = _bliss_config(prefetch_increment=1, grace=grace)
+            result = _run_mix(mix, config, length, seed, alone_results=alone)
+            grace_rows.append(
+                {
+                    "mix": "+".join(mix),
+                    "grace_period": grace,
+                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
+                    / base_result.weighted_speedup,
+                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
+                    / base_result.max_slowdown,
+                }
+            )
+    return {"figure": "fig16", "weight_rows": weight_rows, "grace_rows": grace_rows}
+
+
+# ----------------------------------------------------------------------
+# E17 / Figure 17 -- sub-row buffers
+# ----------------------------------------------------------------------
+
+def _subrow_config(allocation, dedicated, tempo):
+    config = default_system_config()
+    subrows = replace(
+        config.dram.subrows, enabled=True, allocation=allocation,
+        dedicated_prefetch_subrows=dedicated,
+    )
+    config = config.copy_with(dram=replace(config.dram, subrows=subrows))
+    return config.with_tempo(tempo)
+
+
+def fig17_subrows(mixes=None, length=6000, seed=0, dedicated_options=(0, 1, 2, 4)):
+    """FOA/POA sub-row allocation with swept prefetch-dedicated slots."""
+    mixes = SUBROW_MIXES if mixes is None else tuple(mixes)
+    rows = []
+    for allocation in ("foa", "poa"):
+        for mix in mixes:
+            base_result = _run_mix(mix, _subrow_config(allocation, 0, False), length, seed)
+            for dedicated in dedicated_options:
+                config = _subrow_config(allocation, dedicated, True)
+                result = _run_mix(mix, config, length, seed)
+                rows.append(
+                    {
+                        "allocation": allocation,
+                        "mix": "+".join(mix),
+                        "dedicated_subrows": dedicated,
+                        "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
+                        / base_result.weighted_speedup,
+                        "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
+                        / base_result.max_slowdown,
+                    }
+                )
+    return {"figure": "fig17", "rows": rows}

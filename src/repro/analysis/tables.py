@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print these tables so a run's stdout doubles as the
+reproduction log next to the paper's expectations.
+"""
+
+from repro.analysis.expectations import PAPER_EXPECTATIONS
+
+
+def format_table(rows, columns=None, title=None):
+    """Render ``rows`` (list of dicts) as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    header = [str(column) for column in columns]
+    body = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append("%.3f" % value)
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_experiment(result):
+    """Render a driver's output with the paper's claim attached."""
+    figure = result.get("figure", "?")
+    expectation = PAPER_EXPECTATIONS.get(figure, {})
+    parts = ["== %s ==" % figure]
+    claim = expectation.get("claim")
+    if claim:
+        parts.append("paper: %s" % claim)
+    for key, value in result.items():
+        if key == "figure":
+            continue
+        if isinstance(value, list):
+            parts.append(format_table(value, title="[%s]" % key))
+    return "\n".join(parts)

@@ -1,0 +1,18 @@
+"""On-chip cache hierarchy: set-associative caches, a three-level
+hierarchy with a shared LLC, and cache prefetchers (IMP indirect-memory
+prefetcher from the paper's Sec. 4.2 study, plus a stride baseline).
+"""
+
+from repro.cache.cache import Cache, EvictedLine
+from repro.cache.hierarchy import AccessResult, CacheHierarchy
+from repro.cache.imp import ImpPrefetcher
+from repro.cache.stride import StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "EvictedLine",
+    "AccessResult",
+    "CacheHierarchy",
+    "ImpPrefetcher",
+    "StridePrefetcher",
+]

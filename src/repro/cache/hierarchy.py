@@ -1,0 +1,135 @@
+"""Three-level cache hierarchy: per-core L1/L2, shared write-back LLC.
+
+The hierarchy is the timing bridge between the core/walker and DRAM:
+``access`` reports where a reference hits and how long that took; on a
+full miss the caller performs the DRAM access and then calls
+``fill_from_memory``.  TEMPO's LLC prefetch enters through
+``prefetch_fill_llc`` (paper Figure 7, step 7).
+
+Dirty victims cascade to the next level (allocate-on-writeback); dirty
+LLC victims are returned to the caller so the memory controller can
+account the DRAM write traffic.
+"""
+
+from repro.common.stats import StatGroup
+from repro.cache.cache import Cache
+
+
+class AccessResult:
+    """Outcome of a hierarchy probe."""
+
+    __slots__ = ("hit_level", "latency", "needs_dram")
+
+    def __init__(self, hit_level, latency, needs_dram):
+        self.hit_level = hit_level
+        self.latency = latency
+        self.needs_dram = needs_dram
+
+    def __repr__(self):
+        where = self.hit_level if self.hit_level else "dram"
+        return "AccessResult(%s, %d cycles)" % (where, self.latency)
+
+
+class CacheHierarchy:
+    """L1-D and L2 per core, one shared LLC."""
+
+    def __init__(self, system_config, num_cores=None, name="caches"):
+        config = system_config
+        self.config = config
+        self.num_cores = num_cores if num_cores is not None else config.num_cores
+        self._l1_latency = config.core.l1_latency
+        self._l2_latency = config.core.l2_latency
+        self._llc_latency = config.core.llc_latency
+        self.l1 = [Cache(config.l1, "l1.%d" % cpu) for cpu in range(self.num_cores)]
+        self.l2 = [Cache(config.l2, "l2.%d" % cpu) for cpu in range(self.num_cores)]
+        self.llc = Cache(config.llc, "llc")
+        self._pending_dram_writebacks = []
+        self.stats = StatGroup(name)
+
+    def access(self, cpu, paddr, is_write=False):
+        """Probe L1 -> L2 -> LLC for the line holding *paddr*.
+
+        Returns an :class:`AccessResult`; ``needs_dram`` means the caller
+        must fetch from memory and then call :meth:`fill_from_memory`.
+        """
+        if self.l1[cpu].lookup(paddr, is_write):
+            return AccessResult("l1", self._l1_latency, False)
+        if self.l2[cpu].lookup(paddr, is_write):
+            self._fill_upper(cpu, paddr, is_write, into_l2=False)
+            return AccessResult("l2", self._l2_latency, False)
+        if self.llc.lookup(paddr, is_write):
+            self._fill_upper(cpu, paddr, is_write, into_l2=True)
+            return AccessResult("llc", self._llc_latency, False)
+        # Full miss: the caller goes to DRAM.  The latency here is the
+        # time spent discovering the miss (the LLC tag lookup).
+        return AccessResult(None, self._llc_latency, True)
+
+    def _fill_upper(self, cpu, paddr, is_write, into_l2):
+        """Refill L1 (and optionally L2) after a lower-level hit."""
+        victim = self.l1[cpu].fill(paddr, is_write)
+        if victim is not None and victim.dirty:
+            self._writeback_to_l2(cpu, victim)
+        if into_l2:
+            victim = self.l2[cpu].fill(paddr)
+            if victim is not None and victim.dirty:
+                self._writeback_to_llc(victim)
+
+    def _writeback_to_l2(self, cpu, victim):
+        deeper = self.l2[cpu].fill(victim.paddr, is_write=True)
+        self.stats.counter("l1_writebacks").add()
+        if deeper is not None and deeper.dirty:
+            self._writeback_to_llc(deeper)
+
+    def _writeback_to_llc(self, victim):
+        deeper = self.llc.fill(victim.paddr, is_write=True)
+        self.stats.counter("l2_writebacks").add()
+        if deeper is not None and deeper.dirty:
+            self._pending_dram_writebacks.append(deeper)
+
+    def fill_from_memory(self, cpu, paddr, is_write=False):
+        """Install a DRAM-fetched line in all three levels.
+
+        Dirty LLC victims accumulate; collect them with
+        :meth:`drain_writebacks`.
+        """
+        llc_victim = self.llc.fill(paddr)
+        if llc_victim is not None and llc_victim.dirty:
+            self._pending_dram_writebacks.append(llc_victim)
+        l2_victim = self.l2[cpu].fill(paddr)
+        if l2_victim is not None and l2_victim.dirty:
+            self._writeback_to_llc(l2_victim)
+        l1_victim = self.l1[cpu].fill(paddr, is_write)
+        if l1_victim is not None and l1_victim.dirty:
+            self._writeback_to_l2(cpu, l1_victim)
+
+    def prefetch_fill_llc(self, paddr):
+        """TEMPO's LLC prefetch: install the replay line in the LLC only
+        (paper Figure 7, step 7)."""
+        victim = self.llc.fill(paddr, is_prefetch=True)
+        self.stats.counter("tempo_llc_prefetch_fills").add()
+        if victim is not None and victim.dirty:
+            self._pending_dram_writebacks.append(victim)
+
+    def prefetch_fill_l1(self, cpu, paddr):
+        """IMP-style prefetch fill: L1 + L2 + LLC (IMP prefetches into
+        the L1 cache; inclusive fill keeps the model consistent)."""
+        self.fill_from_memory(cpu, paddr)
+        self.stats.counter("imp_prefetch_fills").add()
+
+    def drain_writebacks(self):
+        """Collect dirty LLC victims accumulated since the last drain;
+        the memory controller turns them into DRAM write traffic."""
+        if not self._pending_dram_writebacks:
+            return ()
+        writebacks = tuple(self._pending_dram_writebacks)
+        self._pending_dram_writebacks.clear()
+        return writebacks
+
+    def llc_hit_rate(self):
+        return self.llc.hit_rate()
+
+    def __repr__(self):
+        return "CacheHierarchy(%d cores, LLC %d KB)" % (
+            self.num_cores,
+            self.config.llc.size_bytes // 1024,
+        )

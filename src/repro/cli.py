@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list``
+    Show the available workloads.
+``run WORKLOAD``
+    Simulate one workload and print the runtime/DRAM breakdowns.
+``compare WORKLOAD``
+    Run baseline vs. TEMPO on the same trace and print improvements.
+``trace WORKLOAD -o FILE``
+    Generate a trace file for later replay (see ``--trace`` on run).
+``experiment FIGURE``
+    Run one of the paper-figure experiment drivers (fig01, fig04,
+    fig10, fig11_left, fig11_right, fig12, fig13, fig14, fig15, fig16,
+    fig17) and print its table.
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.common.config import default_system_config
+from repro.sim.runner import (
+    energy_fraction,
+    run_baseline_and_tempo,
+    run_workload,
+    speedup_fraction,
+)
+from repro.sim.traceio import load_trace, save_trace
+from repro.workloads.registry import (
+    BIGDATA_WORKLOADS,
+    EXTENSION_WORKLOADS,
+    SMALL_WORKLOADS,
+    make_trace,
+)
+
+
+def _build_config(args):
+    config = default_system_config()
+    overrides = {}
+    if getattr(args, "row_policy", None):
+        overrides["row_policy"] = replace(config.row_policy, policy=args.row_policy)
+    if getattr(args, "scheduler", None):
+        overrides["scheduler"] = replace(config.scheduler, policy=args.scheduler)
+    if getattr(args, "imp", False):
+        overrides["imp"] = replace(config.imp, enabled=True)
+    if getattr(args, "memhog", None) is not None:
+        overrides["vm"] = replace(config.vm, memhog_fraction=args.memhog)
+    if overrides:
+        config = config.copy_with(**overrides)
+    if getattr(args, "no_tempo", False):
+        config = config.with_tempo(False)
+    config.validate()
+    return config
+
+
+def _resolve_workload(args):
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    return args.workload
+
+
+def _print_result(result, out):
+    core = result.core
+    out.write("workload:            %s\n" % core.workload_name)
+    out.write("references:          %d\n" % core.references)
+    out.write("cycles:              %d\n" % core.cycles)
+    out.write("DRAM-PTW runtime:    %.1f%%\n" % (100 * core.runtime.fraction("ptw")))
+    out.write("DRAM-replay runtime: %.1f%%\n" % (100 * core.runtime.fraction("replay")))
+    out.write("DRAM-other runtime:  %.1f%%\n" % (100 * core.runtime.fraction("other")))
+    out.write("leaf share of PTW:   %.1f%%\n" % (100 * core.dram_refs.leaf_fraction_of_ptw()))
+    out.write("superpage coverage:  %.1f%%\n" % (100 * result.superpage_fraction))
+    out.write("energy:              %.1f units\n" % result.energy_total)
+    if core.replay_service.total:
+        service = core.replay_service
+        out.write(
+            "replay service:      %.0f%% LLC / %.0f%% row buffer / %.0f%% unaided\n"
+            % (
+                100 * service.fraction("llc"),
+                100 * service.fraction("row_buffer"),
+                100 * service.fraction("unaided"),
+            )
+        )
+
+
+def _cmd_list(args, out):
+    out.write("big-data workloads (paper Sec. 5.1):\n")
+    for workload in BIGDATA_WORKLOADS:
+        out.write("  %-12s %s\n" % (workload.name, workload.description))
+    out.write("small-footprint stand-ins:\n")
+    for workload in SMALL_WORKLOADS:
+        out.write("  %-20s %s\n" % (workload.name, workload.description))
+    out.write("extensions:\n")
+    for workload in EXTENSION_WORKLOADS:
+        out.write("  %-12s %s\n" % (workload.name, workload.description))
+    return 0
+
+
+def _cmd_run(args, out):
+    config = _build_config(args)
+    result = run_workload(_resolve_workload(args), config, length=args.length, seed=args.seed)
+    _print_result(result, out)
+    return 0
+
+
+def _cmd_compare(args, out):
+    config = _build_config(args)
+    baseline, tempo = run_baseline_and_tempo(
+        _resolve_workload(args), config, length=args.length, seed=args.seed
+    )
+    out.write("baseline cycles: %d\n" % baseline.total_cycles)
+    out.write("tempo cycles:    %d\n" % tempo.total_cycles)
+    out.write("performance:     %+.1f%%\n" % (100 * speedup_fraction(baseline, tempo)))
+    out.write("energy:          %+.1f%%\n" % (100 * energy_fraction(baseline, tempo)))
+    return 0
+
+
+def _cmd_trace(args, out):
+    trace = make_trace(args.workload, length=args.length, seed=args.seed)
+    written = save_trace(trace, args.output)
+    out.write("wrote %d records to %s\n" % (written, args.output))
+    return 0
+
+
+def _cmd_experiment(args, out):
+    from repro.analysis import experiments
+    from repro.analysis.tables import render_experiment
+
+    drivers = {
+        "fig01": experiments.fig01_runtime_breakdown,
+        "fig04": experiments.fig04_dram_reference_breakdown,
+        "fig10": experiments.fig10_performance_energy,
+        "fig11_left": experiments.fig11_replay_service,
+        "fig11_right": experiments.fig11_small_footprint,
+        "fig12": experiments.fig12_imp_interaction,
+        "fig13": experiments.fig13_superpage_sensitivity,
+        "fig14": experiments.fig14_row_policies,
+        "fig15": experiments.fig15_wait_cycles,
+        "fig16": experiments.fig16_bliss,
+        "fig17": experiments.fig17_subrows,
+    }
+    driver = drivers.get(args.figure)
+    if driver is None:
+        out.write("unknown figure %r; choose from: %s\n" % (args.figure, ", ".join(sorted(drivers))))
+        return 2
+    kwargs = {"length": args.length}
+    if args.figure in ("fig11_right", "fig16", "fig17"):
+        pass  # these drivers take no workload filter
+    elif args.workloads:
+        kwargs["workloads"] = tuple(args.workloads)
+    result = driver(**kwargs)
+    out.write(render_experiment(result))
+    out.write("\n")
+    return 0
+
+
+def _cmd_report(args, out):
+    from repro.analysis.report import write_report
+
+    def progress(message):
+        out.write(message + "\n")
+
+    path = write_report(
+        args.output, include_ablations=not args.no_ablations, progress=progress
+    )
+    out.write("report written to %s\n" % path)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TEMPO (ASPLOS 2017) reproduction: translation-triggered prefetching",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available workloads")
+
+    def add_common(sub, needs_workload=True):
+        if needs_workload:
+            sub.add_argument("workload", nargs="?", default="xsbench",
+                             help="workload name (default: xsbench)")
+            sub.add_argument("--trace", help="replay a saved trace file instead")
+        sub.add_argument("--length", type=int, default=12000, help="trace records")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--row-policy", choices=("open", "closed", "adaptive"))
+        sub.add_argument("--scheduler", choices=("fcfs", "frfcfs", "bliss", "atlas"))
+        sub.add_argument("--imp", action="store_true", help="enable the IMP prefetcher")
+        sub.add_argument("--memhog", type=float, help="memhog fragmentation fraction")
+
+    run_parser = subparsers.add_parser("run", help="simulate one workload")
+    add_common(run_parser)
+    run_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
+
+    compare_parser = subparsers.add_parser("compare", help="baseline vs TEMPO")
+    add_common(compare_parser)
+
+    trace_parser = subparsers.add_parser("trace", help="generate a trace file")
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("-o", "--output", required=True)
+    trace_parser.add_argument("--length", type=int, default=12000)
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a paper-figure experiment driver"
+    )
+    experiment_parser.add_argument("figure")
+    experiment_parser.add_argument("--length", type=int, default=8000)
+    experiment_parser.add_argument("--workloads", nargs="*", default=None)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run every figure driver and write a markdown report"
+    )
+    report_parser.add_argument("-o", "--output", required=True)
+    report_parser.add_argument(
+        "--no-ablations", action="store_true", help="figures only (faster)"
+    )
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "trace": _cmd_trace,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Shared substrate: addressing math, configuration, statistics, errors.
+
+Everything in :mod:`repro.common` is dependency-free (standard library
+only) and is imported by every other subsystem.  The module split is:
+
+``constants``
+    Architectural constants of the modelled x86-64 machine (page sizes,
+    radix-tree geometry, cache-line size).
+``addressing``
+    Pure functions for virtual/physical address manipulation: splitting a
+    48-bit virtual address into radix indices, computing page-table-entry
+    addresses, extracting the replay cache-line offset TEMPO piggybacks on
+    leaf page-table requests.
+``config``
+    Dataclasses describing every hardware structure, with validation and
+    the Skylake-like default preset from Figure 9 of the paper.
+``stats``
+    Lightweight counters and histograms used by every simulated structure.
+``rng``
+    Deterministic random-stream helper so experiments are reproducible.
+``errors``
+    Exception hierarchy.
+"""
+
+from repro.common.constants import (
+    CACHE_LINE_BYTES,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PTE_BYTES,
+    PT_LEVELS,
+    RADIX_BITS,
+    VA_BITS,
+)
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TranslationFault,
+)
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MmuCacheConfig,
+    RowPolicyConfig,
+    SchedulerConfig,
+    SystemConfig,
+    TempoConfig,
+    TlbConfig,
+    default_system_config,
+)
+from repro.common.stats import Counter, Histogram, StatGroup
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "PAGE_SIZE_1G",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_4K",
+    "PTE_BYTES",
+    "PT_LEVELS",
+    "RADIX_BITS",
+    "VA_BITS",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "TranslationFault",
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "MmuCacheConfig",
+    "RowPolicyConfig",
+    "SchedulerConfig",
+    "SystemConfig",
+    "TempoConfig",
+    "TlbConfig",
+    "default_system_config",
+    "Counter",
+    "Histogram",
+    "StatGroup",
+    "DeterministicRng",
+]

@@ -1,0 +1,116 @@
+"""Pure address-manipulation helpers.
+
+These functions implement the x86-64 radix-walk arithmetic described in
+Sec. 2.1 of the paper: a 48-bit virtual address is split into four 9-bit
+radix indices plus a 12-bit page offset; a page-table walk concatenates
+each level's base physical address with the corresponding index to form
+the physical address of the entry it reads.
+
+TEMPO (Sec. 4.1) additionally needs, at the memory controller, the cache
+line *within the target page* that the faulting access will touch; the
+modified page-table walker piggybacks that line index on the leaf-PT
+request.  The helpers at the bottom compute and apply that offset.
+"""
+
+from repro.common.constants import (
+    CACHE_LINE_BYTES,
+    CACHE_LINE_SHIFT,
+    PAGE_SHIFTS,
+    PAGE_SIZE_4K,
+    PT_ENTRIES,
+    PTE_BYTES,
+    RADIX_BITS,
+    VA_BITS,
+)
+from repro.common.errors import ConfigError
+
+_VA_MASK = (1 << VA_BITS) - 1
+_RADIX_MASK = PT_ENTRIES - 1
+
+
+def canonical(vaddr):
+    """Clamp *vaddr* to the translated 48-bit range."""
+    return vaddr & _VA_MASK
+
+
+def page_base(addr, page_size=PAGE_SIZE_4K):
+    """Return the base address of the *page_size*-aligned page holding
+    *addr* (works for virtual and physical addresses alike)."""
+    return addr & ~(page_size - 1)
+
+
+def page_offset(addr, page_size=PAGE_SIZE_4K):
+    """Return the offset of *addr* within its *page_size* page."""
+    return addr & (page_size - 1)
+
+
+def page_number(addr, page_size=PAGE_SIZE_4K):
+    """Return the page number of *addr* for the given page size."""
+    return addr >> PAGE_SHIFTS[page_size]
+
+
+def page_address(page_num, page_size=PAGE_SIZE_4K):
+    """Inverse of :func:`page_number`: page number -> base address."""
+    return page_num << PAGE_SHIFTS[page_size]
+
+
+def radix_index(vaddr, level):
+    """Return the 9-bit radix index used at page-table *level* (4..1).
+
+    Level 4 consumes the uppermost 9 translated bits (47:39), level 1 the
+    lowest 9 bits above the page offset (20:12).
+    """
+    if level not in (1, 2, 3, 4):
+        raise ConfigError("page-table level must be 1..4, got %r" % (level,))
+    shift = 12 + RADIX_BITS * (level - 1)
+    return (canonical(vaddr) >> shift) & _RADIX_MASK
+
+
+def radix_indices(vaddr):
+    """Return the (L4, L3, L2, L1) radix indices for *vaddr*."""
+    return tuple(radix_index(vaddr, level) for level in (4, 3, 2, 1))
+
+
+def pte_address(table_base_paddr, index):
+    """Physical address of entry *index* within the table page at
+    *table_base_paddr* -- the concatenation the walker performs."""
+    if not 0 <= index < PT_ENTRIES:
+        raise ConfigError("radix index out of range: %r" % (index,))
+    return table_base_paddr + index * PTE_BYTES
+
+
+def cache_line_id(addr):
+    """Global cache-line identifier (address >> 6)."""
+    return addr >> CACHE_LINE_SHIFT
+
+def cache_line_base(addr):
+    """Base address of the cache line holding *addr*."""
+    return addr & ~(CACHE_LINE_BYTES - 1)
+
+
+def line_index_in_page(vaddr, page_size=PAGE_SIZE_4K):
+    """Cache-line index of *vaddr* within its page.
+
+    For 4 KB pages this is the 6-bit quantity (64 lines/page) the modified
+    walker appends to leaf-PT requests; for 2 MB / 1 GB leaves the same
+    scheme carries 15 / 24 bits (paper Sec. 4.5 notes TEMPO applies to any
+    page size by tagging whichever level is the leaf).
+    """
+    return page_offset(vaddr, page_size) >> CACHE_LINE_SHIFT
+
+
+def replay_address(frame_base_paddr, line_index):
+    """Reconstruct the replay's physical target: the prefetch engine
+    concatenates the PTE's physical page number with the piggybacked
+    cache-line index (paper Sec. 4.1, Prefetch Engine)."""
+    return frame_base_paddr + (line_index << CACHE_LINE_SHIFT)
+
+
+def split_vaddr(vaddr, page_size=PAGE_SIZE_4K):
+    """Return ``(virtual_page_number, page_offset)`` for *vaddr*."""
+    return page_number(vaddr, page_size), page_offset(vaddr, page_size)
+
+
+def translate(vaddr, frame_base_paddr, page_size=PAGE_SIZE_4K):
+    """Combine a frame base with the page offset of *vaddr*."""
+    return frame_base_paddr | page_offset(vaddr, page_size)

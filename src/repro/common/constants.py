@@ -1,0 +1,73 @@
+"""Architectural constants for the modelled x86-64 machine.
+
+The paper (Sec. 2.1) targets x86-64 with 48-bit virtual addresses and a
+four-level forward-mapped radix-tree page table.  Each level is indexed by
+9 bits of the virtual page number, each table occupies one 4 KB page and
+holds 512 eight-byte entries.
+"""
+
+#: Bytes in a cache line (x86-64).
+CACHE_LINE_BYTES = 64
+
+#: log2 of the cache-line size; used for shifting addresses to line ids.
+CACHE_LINE_SHIFT = 6
+
+#: Base page size (x86-64 4 KB page).
+PAGE_SIZE_4K = 4 * 1024
+
+#: 2 MB superpage (leaf at the L2 page-table level).
+PAGE_SIZE_2M = 2 * 1024 * 1024
+
+#: 1 GB superpage (leaf at the L3 page-table level).
+PAGE_SIZE_1G = 1024 * 1024 * 1024
+
+#: All supported page sizes, smallest first.
+SUPPORTED_PAGE_SIZES = (PAGE_SIZE_4K, PAGE_SIZE_2M, PAGE_SIZE_1G)
+
+#: Bits of virtual address actually translated (x86-64 canonical).
+VA_BITS = 48
+
+#: Bits of virtual page number consumed per radix level.
+RADIX_BITS = 9
+
+#: Entries per page-table page (2**RADIX_BITS).
+PT_ENTRIES = 1 << RADIX_BITS
+
+#: Number of radix levels (L4 is the root, L1 holds 4 KB leaf PTEs).
+PT_LEVELS = 4
+
+#: Size of one page-table entry in bytes.
+PTE_BYTES = 8
+
+#: log2(PTE_BYTES); used to turn an entry index into a byte offset.
+PTE_SHIFT = 3
+
+#: Offset bits within a 4 KB page.
+PAGE_SHIFT_4K = 12
+
+#: Offset bits within a 2 MB page.
+PAGE_SHIFT_2M = 21
+
+#: Offset bits within a 1 GB page.
+PAGE_SHIFT_1G = 30
+
+#: Map page size -> offset-bit count.
+PAGE_SHIFTS = {
+    PAGE_SIZE_4K: PAGE_SHIFT_4K,
+    PAGE_SIZE_2M: PAGE_SHIFT_2M,
+    PAGE_SIZE_1G: PAGE_SHIFT_1G,
+}
+
+#: Map page size -> the page-table level whose entry is the leaf for that
+#: size.  4 KB pages terminate at L1, 2 MB at L2, 1 GB at L3.
+LEAF_LEVEL_FOR_SIZE = {
+    PAGE_SIZE_4K: 1,
+    PAGE_SIZE_2M: 2,
+    PAGE_SIZE_1G: 3,
+}
+
+#: Map leaf page-table level -> page size it maps.
+SIZE_FOR_LEAF_LEVEL = {level: size for size, level in LEAF_LEVEL_FOR_SIZE.items()}
+
+#: Cache lines in a 4 KB page (64 lines; the walker appends 6 bits).
+LINES_PER_PAGE_4K = PAGE_SIZE_4K // CACHE_LINE_BYTES

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the TEMPO reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration dataclass failed validation."""
+
+
+class TranslationFault(ReproError):
+    """A virtual address has no mapping (page fault the model cannot
+    service, e.g. a walker probing an unmapped region).
+
+    TEMPO's prefetch engine must *not* prefetch through these (paper
+    Sec. 4.5, "Page faults"); the simulator raises this only when a trace
+    references memory the OS model never allocated, which indicates a bug
+    in the workload generator rather than expected behaviour.
+    """
+
+    def __init__(self, vaddr, message=None):
+        self.vaddr = vaddr
+        super().__init__(message or "no translation for virtual address 0x%x" % vaddr)
+
+
+class AllocationError(ReproError):
+    """The physical frame allocator ran out of (suitable) frames."""
+
+
+class MappingError(ReproError):
+    """An attempt to create a page-table mapping conflicts with an
+    existing one (e.g. mapping a 2 MB page over live 4 KB mappings)."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected during simulation."""

@@ -1,0 +1,131 @@
+"""Lightweight statistics primitives.
+
+Every simulated structure (TLB, cache, bank, scheduler, ...) owns a
+:class:`StatGroup` so results can be harvested uniformly by the experiment
+drivers in :mod:`repro.analysis`.
+"""
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value=0):
+        self.name = name
+        self.value = value
+
+    def add(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def __int__(self):
+        return self.value
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Histogram:
+    """A sparse integer-keyed histogram (e.g. latency distribution)."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.buckets = {}
+
+    def record(self, key, amount=1):
+        self.buckets[key] = self.buckets.get(key, 0) + amount
+
+    def total(self):
+        return sum(self.buckets.values())
+
+    def mean(self):
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(key * count for key, count in self.buckets.items()) / total
+
+    def reset(self):
+        self.buckets.clear()
+
+    def __repr__(self):
+        return "Histogram(%s, n=%d)" % (self.name, self.total())
+
+
+class StatGroup:
+    """A named bag of counters/histograms with dotted-path export.
+
+    >>> stats = StatGroup("tlb")
+    >>> stats.counter("hits").add()
+    >>> stats.as_dict()
+    {'tlb.hits': 1}
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._counters = {}
+        self._histograms = {}
+        self._children = {}
+
+    def counter(self, name):
+        """Return (creating on first use) the counter *name*."""
+        found = self._counters.get(name)
+        if found is None:
+            found = Counter(name)
+            self._counters[name] = found
+        return found
+
+    def histogram(self, name):
+        """Return (creating on first use) the histogram *name*."""
+        found = self._histograms.get(name)
+        if found is None:
+            found = Histogram(name)
+            self._histograms[name] = found
+        return found
+
+    def child(self, name):
+        """Return (creating on first use) a nested group *name*."""
+        found = self._children.get(name)
+        if found is None:
+            found = StatGroup(name)
+            self._children[name] = found
+        return found
+
+    def ratio(self, numerator, denominator):
+        """hits/(hits+misses)-style convenience: value of counter
+        *numerator* divided by the sum of both counters (0.0 if empty)."""
+        num = self.counter(numerator).value
+        den = num + self.counter(denominator).value
+        if den == 0:
+            return 0.0
+        return num / den
+
+    def reset(self):
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        for group in self._children.values():
+            group.reset()
+
+    def as_dict(self, prefix=None):
+        """Flatten to ``{"group.counter": value}`` (histograms export
+        their totals under ``<name>.total`` and means under
+        ``<name>.mean``)."""
+        path = self.name if prefix is None else "%s.%s" % (prefix, self.name)
+        flat = {}
+        for name, counter in self._counters.items():
+            flat["%s.%s" % (path, name)] = counter.value
+        for name, histogram in self._histograms.items():
+            flat["%s.%s.total" % (path, name)] = histogram.total()
+            flat["%s.%s.mean" % (path, name)] = histogram.mean()
+        for group in self._children.values():
+            flat.update(group.as_dict(prefix=path))
+        return flat
+
+    def __repr__(self):
+        return "StatGroup(%r, %d counters)" % (self.name, len(self._counters))

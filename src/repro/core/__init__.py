@@ -1,0 +1,21 @@
+"""TEMPO: translation-enabled memory prefetching optimizations.
+
+This package is the paper's primary contribution.  The pieces:
+
+* :class:`~repro.core.prefetch_engine.PrefetchEngine` -- the finite state
+  machine added to the memory controller (paper Figure 7): it detects
+  tagged leaf page-table accesses, parses the fetched PTE, suppresses
+  prefetches for non-present translations (page faults, Sec. 4.5), and
+  constructs the replay's physical address from the PTE's physical page
+  number concatenated with the piggybacked cache-line index.
+* The walker-side tagging lives in :class:`repro.mmu.walker.
+  PageTableWalker` (``tempo_tagging``).
+* The scheduling integrations (10-cycle anticipation, TxQ grouping,
+  BLISS half-weight counting + 15-cycle grace period, sub-row
+  dedication) live in :mod:`repro.sched` and :mod:`repro.dram.subrow`,
+  switched by :class:`~repro.common.config.TempoConfig`.
+"""
+
+from repro.core.prefetch_engine import PrefetchEngine
+
+__all__ = ["PrefetchEngine"]

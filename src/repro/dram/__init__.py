@@ -1,0 +1,37 @@
+"""DRAM device model: address interleaving, per-bank row-buffer state
+machines, row-management policies (open / closed / adaptive), sub-row
+buffers with FOA/POA allocation, and the energy model.
+
+Timing follows the paper's Sec. 2.3 anatomy: row-buffer *hits* are served
+at column-access latency; *misses* find the bank precharged and pay an
+activate; *conflicts* find a different row open and additionally pay the
+precharge on the critical path.
+"""
+
+from repro.dram.address_map import AddressMap, DramLocation
+from repro.dram.bank import Bank, DramDevice, OUTCOME_CONFLICT, OUTCOME_HIT, OUTCOME_MISS
+from repro.dram.row_policy import (
+    AdaptiveRowPolicy,
+    ClosedRowPolicy,
+    OpenRowPolicy,
+    make_row_policy,
+)
+from repro.dram.subrow import SubRowBank, SubRowSet
+from repro.dram.energy import EnergyModel
+
+__all__ = [
+    "AddressMap",
+    "DramLocation",
+    "Bank",
+    "DramDevice",
+    "OUTCOME_HIT",
+    "OUTCOME_MISS",
+    "OUTCOME_CONFLICT",
+    "OpenRowPolicy",
+    "ClosedRowPolicy",
+    "AdaptiveRowPolicy",
+    "make_row_policy",
+    "SubRowBank",
+    "SubRowSet",
+    "EnergyModel",
+]

@@ -1,0 +1,92 @@
+"""Physical address -> DRAM location interleaving.
+
+Layout (low to high bits): row offset (column), channel, bank, row.
+With the default 8 KB rows this keeps each aligned 8 KB chunk of physical
+memory inside a single bank row -- which is what makes the paper's
+Figure 8 geometry hold: two spatially-adjacent 4 KB pages share a row,
+and 1024 consecutive 8-byte page-table entries share a row.
+"""
+
+from repro.common.errors import ConfigError
+
+
+class DramLocation:
+    """Decoded coordinates of a physical address."""
+
+    __slots__ = ("channel", "bank", "row", "row_offset")
+
+    def __init__(self, channel, bank, row, row_offset):
+        self.channel = channel
+        self.bank = bank
+        self.row = row
+        self.row_offset = row_offset
+
+    def __repr__(self):
+        return "DramLocation(ch=%d, bank=%d, row=%d, +0x%x)" % (
+            self.channel,
+            self.bank,
+            self.row,
+            self.row_offset,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DramLocation)
+            and self.channel == other.channel
+            and self.bank == other.bank
+            and self.row == other.row
+            and self.row_offset == other.row_offset
+        )
+
+    def __hash__(self):
+        return hash((self.channel, self.bank, self.row, self.row_offset))
+
+
+class AddressMap:
+    """Bit-slicing interleave for a :class:`~repro.common.config.DramConfig`."""
+
+    def __init__(self, dram_config):
+        config = dram_config
+        if config.row_bytes & (config.row_bytes - 1):
+            raise ConfigError("row size must be a power of two")
+        self.config = config
+        self.row_shift = config.row_bytes.bit_length() - 1
+        self.channel_bits = config.channels.bit_length() - 1
+        self.bank_bits = config.banks_per_channel.bit_length() - 1
+        self._channel_mask = config.channels - 1
+        self._bank_mask = config.banks_per_channel - 1
+        self._offset_mask = config.row_bytes - 1
+        self.total_banks = config.channels * config.banks_per_channel
+
+    def decode(self, paddr):
+        """Full decode to a :class:`DramLocation`."""
+        row_offset = paddr & self._offset_mask
+        above = paddr >> self.row_shift
+        channel = above & self._channel_mask
+        above >>= self.channel_bits
+        bank = above & self._bank_mask
+        row = above >> self.bank_bits
+        return DramLocation(channel, bank, row, row_offset)
+
+    def bank_index(self, paddr):
+        """Flat bank index in ``[0, total_banks)`` -- the hot-path key."""
+        above = paddr >> self.row_shift
+        channel = above & self._channel_mask
+        bank = (above >> self.channel_bits) & self._bank_mask
+        return channel * self.config.banks_per_channel + bank
+
+    def row_of(self, paddr):
+        """Row id within the owning bank."""
+        return paddr >> (self.row_shift + self.channel_bits + self.bank_bits)
+
+    def same_row(self, paddr_a, paddr_b):
+        """True when both addresses live in the same bank row -- the test
+        TEMPO's transaction-queue grouping performs (paper Sec. 4.3)."""
+        return (
+            self.bank_index(paddr_a) == self.bank_index(paddr_b)
+            and self.row_of(paddr_a) == self.row_of(paddr_b)
+        )
+
+    def row_base_paddr(self, paddr):
+        """Base physical address of the row holding *paddr*."""
+        return paddr & ~self._offset_mask

@@ -1,0 +1,17 @@
+"""MMU hardware models: TLBs, MMU (page-walk) caches, and the hardware
+page-table walker -- including TEMPO's walker modification that tags
+leaf-PT requests and piggybacks the replay's cache-line index.
+"""
+
+from repro.mmu.tlb import SetAssociativeTlb, TlbHierarchy
+from repro.mmu.mmu_cache import MmuCaches
+from repro.mmu.walker import PageTableWalker, WalkPlan, WalkStep
+
+__all__ = [
+    "SetAssociativeTlb",
+    "TlbHierarchy",
+    "MmuCaches",
+    "PageTableWalker",
+    "WalkPlan",
+    "WalkStep",
+]

@@ -1,0 +1,129 @@
+"""Hardware page-table walker (paper Secs. 2.1 and 4.1).
+
+On a TLB miss the walker traverses the radix tree L4 -> leaf.  Each level
+is first probed in the MMU caches; misses become real memory references
+that traverse the cache hierarchy and possibly DRAM.
+
+TEMPO's modification (Sec. 4.1): the request for the *leaf* entry is
+tagged with an identifier bit, and the replay's desired cache-line index
+within the target page is appended to it (6 bits for 4 KB pages).  The
+memory controller uses the tag to trigger the prefetch engine and the
+line index to construct the replay's full physical address.
+
+The walker here is a pure *sequencer*: it produces a :class:`WalkPlan`
+describing the references to perform; the system simulator executes them
+with real timing, then calls :meth:`PageTableWalker.complete` to fill the
+MMU caches and TLB.
+"""
+
+from repro.common.addressing import line_index_in_page
+from repro.common.constants import SIZE_FOR_LEAF_LEVEL
+from repro.common.stats import StatGroup
+
+
+class WalkStep:
+    """One page-table level the walker visits."""
+
+    __slots__ = ("level", "entry_paddr", "from_mmu_cache", "is_leaf")
+
+    def __init__(self, level, entry_paddr, from_mmu_cache, is_leaf):
+        self.level = level
+        self.entry_paddr = entry_paddr
+        self.from_mmu_cache = from_mmu_cache
+        self.is_leaf = is_leaf
+
+    def __repr__(self):
+        source = "mmu$" if self.from_mmu_cache else "mem"
+        leaf = " leaf" if self.is_leaf else ""
+        return "WalkStep(L%d @0x%x %s%s)" % (self.level, self.entry_paddr, source, leaf)
+
+
+class WalkPlan:
+    """Everything the simulator needs to execute one walk."""
+
+    __slots__ = (
+        "vaddr",
+        "steps",
+        "entry",
+        "faulted",
+        "leaf_level",
+        "tempo_tagged",
+        "replay_line_index",
+    )
+
+    def __init__(self, vaddr, steps, entry, faulted, leaf_level, tempo_tagged, replay_line_index):
+        self.vaddr = vaddr
+        self.steps = steps
+        self.entry = entry
+        self.faulted = faulted
+        self.leaf_level = leaf_level
+        self.tempo_tagged = tempo_tagged
+        self.replay_line_index = replay_line_index
+
+    @property
+    def memory_steps(self):
+        """Steps that actually reference memory (MMU-cache misses)."""
+        return [step for step in self.steps if not step.from_mmu_cache]
+
+    @property
+    def page_size(self):
+        return self.entry.page_size if self.entry is not None else None
+
+    @property
+    def frame_paddr(self):
+        return self.entry.frame_paddr if self.entry is not None else None
+
+    def __repr__(self):
+        state = "fault" if self.faulted else "ok"
+        return "WalkPlan(0x%x, %d steps, %s)" % (self.vaddr, len(self.steps), state)
+
+
+class PageTableWalker:
+    """Sequences radix walks against a page table + MMU caches."""
+
+    def __init__(self, page_table, mmu_caches, tempo_tagging=False, name="walker"):
+        self.page_table = page_table
+        self.mmu_caches = mmu_caches
+        #: When True, leaf-PT requests carry TEMPO's tag + line index.
+        self.tempo_tagging = tempo_tagging
+        self.stats = StatGroup(name)
+
+    def plan(self, vaddr):
+        """Build the :class:`WalkPlan` for a TLB miss at *vaddr*.
+
+        MMU-cache lookups happen here (they are combinational and cheap);
+        fills happen in :meth:`complete` after the simulator has actually
+        performed the memory references.
+        """
+        result = self.page_table.walk(vaddr)
+        steps = []
+        for level, entry_paddr in result.accesses:
+            is_leaf = (not result.faulted) and level == result.leaf_level
+            cached = self.mmu_caches.lookup(level, entry_paddr, is_leaf)
+            steps.append(WalkStep(level, entry_paddr, cached, is_leaf))
+        self.stats.counter("walks").add()
+        if result.faulted:
+            self.stats.counter("faulting_walks").add()
+            return WalkPlan(vaddr, tuple(steps), None, True, result.leaf_level, False, 0)
+        page_size = SIZE_FOR_LEAF_LEVEL[result.leaf_level]
+        replay_line = line_index_in_page(vaddr, page_size)
+        tagged = self.tempo_tagging
+        if tagged:
+            self.stats.counter("tagged_leaf_requests").add()
+        return WalkPlan(
+            vaddr,
+            tuple(steps),
+            result.entry,
+            False,
+            result.leaf_level,
+            tagged,
+            replay_line,
+        )
+
+    def complete(self, plan):
+        """Record walk completion: fill MMU caches with the non-leaf
+        entries that were fetched from memory."""
+        for step in plan.steps:
+            if not step.from_mmu_cache and not step.is_leaf:
+                self.mmu_caches.insert(step.level, step.entry_paddr, step.is_leaf)
+        self.stats.counter("completed_walks").add()

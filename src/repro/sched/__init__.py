@@ -1,0 +1,43 @@
+"""Memory controller and scheduling policies.
+
+``request`` defines the transaction-queue entry; ``schedulers`` houses
+FCFS, FR-FCFS and the BLISS blacklisting scheduler plus TEMPO's
+transaction-queue grouping wrapper; ``controller`` is the memory
+controller that ties the queue, the scheduler, the DRAM device, and
+TEMPO's prefetch engine together.
+"""
+
+from repro.sched.request import (
+    KIND_DEMAND,
+    KIND_IMP_PREFETCH,
+    KIND_PT,
+    KIND_TEMPO_PREFETCH,
+    KIND_WRITEBACK,
+    MemoryRequest,
+)
+from repro.sched.schedulers import (
+    AtlasScheduler,
+    BlissScheduler,
+    FcfsScheduler,
+    FrFcfsScheduler,
+    TempoGroupingScheduler,
+    make_scheduler,
+)
+from repro.sched.controller import MemoryController, PrefetchOutcome
+
+__all__ = [
+    "KIND_DEMAND",
+    "KIND_PT",
+    "KIND_TEMPO_PREFETCH",
+    "KIND_IMP_PREFETCH",
+    "KIND_WRITEBACK",
+    "MemoryRequest",
+    "FcfsScheduler",
+    "FrFcfsScheduler",
+    "BlissScheduler",
+    "AtlasScheduler",
+    "TempoGroupingScheduler",
+    "make_scheduler",
+    "MemoryController",
+    "PrefetchOutcome",
+]

@@ -1,0 +1,367 @@
+"""The memory controller: transaction queues, scheduling, DRAM access,
+and TEMPO's prefetch triggering (paper Figure 7).
+
+Timing model (DESIGN.md Sec. 5): per-channel clocks plus per-bank
+``ready_at`` serialization.  A request's service start is::
+
+    start = max(channel_clock, bank.ready_at, request.not_before)
+
+The channel's command/data bus is occupied for ``bus_cycles`` per
+request, so requests to *different* banks of one channel can overlap
+their array access with each other's bus transfer -- a first-order model
+of bank-level parallelism.  Completion as seen by the core adds the
+fixed ``controller_overhead_cycles`` (queue entry/exit + on-chip
+network).
+
+TEMPO hooks, all active only when a :class:`~repro.core.prefetch_engine.
+PrefetchEngine` is installed:
+
+* tagged leaf-PT requests occupy two TxQ slots and, once serviced,
+  trigger the engine to enqueue the replay-data prefetch (not
+  schedulable until the anticipation window passes);
+* serviced prefetches record a :class:`PrefetchOutcome` the system
+  simulator uses to decide whether the replay enjoys an LLC hit, a
+  row-buffer hit, or neither;
+* after a prefetch, the bank is soft-reserved for the triggering CPU for
+  the grace period (paper Sec. 4.3, Figure 16 right);
+* when the transaction queue is full, incoming prefetches are dropped
+  (the paper's "pathological cases" in Figure 11 left).
+"""
+
+from repro.common.stats import StatGroup
+from repro.dram.bank import OUTCOME_HIT, DramDevice
+from repro.dram.subrow import SubRowSet
+from repro.sched.request import (
+    KIND_PT,
+    KIND_TEMPO_PREFETCH,
+    KIND_WRITEBACK,
+    MemoryRequest,
+)
+from repro.sched.schedulers import make_scheduler
+
+
+class PrefetchOutcome:
+    """What TEMPO managed to do for one walk's replay."""
+
+    __slots__ = ("paddr", "row_ready_at", "llc_ready_at", "dropped")
+
+    def __init__(self, paddr, row_ready_at=None, llc_ready_at=None, dropped=False):
+        self.paddr = paddr
+        self.row_ready_at = row_ready_at
+        self.llc_ready_at = llc_ready_at
+        self.dropped = dropped
+
+    def __repr__(self):
+        if self.dropped:
+            return "PrefetchOutcome(dropped)"
+        return "PrefetchOutcome(0x%x, row@%s, llc@%s)" % (
+            self.paddr,
+            self.row_ready_at,
+            self.llc_ready_at,
+        )
+
+
+class _SchedulerContext:
+    """Predicates the scheduler evaluates against live bank state."""
+
+    __slots__ = ("_controller", "now")
+
+    def __init__(self, controller, now):
+        self._controller = controller
+        self.now = now
+
+    def row_hit(self, request):
+        return self._controller.device.classify(request.paddr, self.now) == OUTCOME_HIT
+
+    def reserved_against(self, request):
+        bank = self._controller.device.bank_for(request.paddr)
+        return bank.reserved_against(request.cpu, self.now)
+
+
+class MemoryController:
+    """See module docstring."""
+
+    def __init__(self, system_config, energy_model=None, prefetch_engine=None):
+        config = system_config
+        self.config = config
+        tempo_on = config.tempo.enabled and prefetch_engine is not None
+        bank_factory = None
+        if config.dram.subrows.enabled:
+            bank_factory = SubRowSet(config.dram, config.num_cores)
+        self.device = DramDevice(config.dram, config.row_policy, bank_factory)
+        self.scheduler = make_scheduler(
+            config.scheduler, tempo_enabled=tempo_on and config.tempo.txq_grouping
+        )
+        self.engine = prefetch_engine
+        self.energy = energy_model
+        self._banks_per_channel = config.dram.banks_per_channel
+        self._bus_cycles = config.dram.bus_cycles
+        self._overhead = config.dram.controller_overhead_cycles
+        self._capacity = config.dram.txq_capacity
+        self._queues = [[] for _ in range(config.dram.channels)]
+        self._clock = [0] * config.dram.channels
+        self._outcomes = {}
+        self.stats = StatGroup("controller")
+        # Hot-path counter memos (avoid per-request string formatting).
+        self._served_counters = {}
+        self._outcome_counters = {}
+        self._enqueued_counters = {}
+        self._served_pt_leaf = self.stats.counter("served_pt_leaf")
+
+    # ------------------------------------------------------------------
+    # Submission API (used by the system simulator)
+    # ------------------------------------------------------------------
+
+    def channel_of(self, paddr):
+        return self.device.address_map.bank_index(paddr) // self._banks_per_channel
+
+    def _queue_slots_used(self, channel):
+        return sum(request.slots() for request in self._queues[channel])
+
+    def enqueue(self, request):
+        """Place *request* in its channel's transaction queue.
+
+        Returns False when a prefetch was dropped for lack of TxQ space
+        (demand/PT/writeback requests are always accepted -- the sources
+        throttle themselves by blocking).
+        """
+        channel = self.channel_of(request.paddr)
+        if request.is_prefetch:
+            used = self._queue_slots_used(channel)
+            if used + request.slots() > self._capacity:
+                self.stats.counter("prefetch_dropped_txq_full").add()
+                if request.kind == KIND_TEMPO_PREFETCH:
+                    self._outcomes[request.origin_pt_id] = PrefetchOutcome(
+                        request.paddr, dropped=True
+                    )
+                return False
+        self._queues[channel].append(request)
+        counter = self._enqueued_counters.get(request.kind)
+        if counter is None:
+            counter = self.stats.counter("enqueued_%s" % request.kind)
+            self._enqueued_counters[request.kind] = counter
+        counter.value += 1
+        return True
+
+    def submit_and_wait(self, request, now):
+        """Blocking demand path: enqueue, drain until serviced.
+
+        Returns the completion time as seen by the core (service end +
+        controller/NoC overhead), or ``None`` when a prefetch-kind
+        request was dropped at enqueue for lack of TxQ space.
+        """
+        if not self.enqueue(request):
+            return None
+        channel = self.channel_of(request.paddr)
+        if self._clock[channel] < now:
+            self._clock[channel] = now
+        while request.finish_time is None:
+            self._service_next(channel)
+        return request.finish_time
+
+    def submit_async(self, request, now):
+        """Fire-and-forget path (prefetches, writebacks)."""
+        channel = self.channel_of(request.paddr)
+        if self._clock[channel] < now:
+            self._clock[channel] = now
+        return self.enqueue(request)
+
+    def submit_writeback(self, paddr, cpu, now):
+        request = MemoryRequest(
+            paddr, KIND_WRITEBACK, cpu=cpu, is_write=True, enqueue_time=now
+        )
+        self.submit_async(request, now)
+        return request
+
+    def advance_to(self, time):
+        """Service everything that can start before *time* (lets queued
+        prefetches land within the slack window before a replay)."""
+        for channel in range(len(self._queues)):
+            self._drain_channel_until(channel, time)
+
+    def drain_all(self):
+        """Service every queued request (end-of-simulation cleanup).
+
+        Returns the latest channel clock afterwards.
+        """
+        for channel, queue in enumerate(self._queues):
+            while queue:
+                self._service_next(channel)
+        return max(self._clock)
+
+    # ------------------------------------------------------------------
+    # Event-driven interface (multicore driver)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_channels(self):
+        return len(self._queues)
+
+    def has_pending(self, channel):
+        return bool(self._queues[channel])
+
+    def next_decision_time(self, channel):
+        """Earliest time *channel* could service its next request, or
+        ``None`` when its queue is empty.  The event-driven multicore
+        driver services channels in decision-time order so cross-core
+        causality holds."""
+        queue = self._queues[channel]
+        if not queue:
+            return None
+        now = self._clock[channel]
+        earliest = min(self._available_at(request, now) for request in queue)
+        return max(now, earliest)
+
+    def service_one(self, channel):
+        """Service exactly one request on *channel* (public wrapper)."""
+        return self._service_next(channel)
+
+    # ------------------------------------------------------------------
+    # TEMPO bookkeeping
+    # ------------------------------------------------------------------
+
+    def take_prefetch_outcome(self, pt_req_id):
+        """Pop the PrefetchOutcome recorded for a tagged PT request."""
+        return self._outcomes.pop(pt_req_id, None)
+
+    def cancel_prefetch(self, pt_req_id):
+        """Remove a still-queued prefetch whose replay already went to
+        DRAM on its own (late prefetch, now useless)."""
+        for queue in self._queues:
+            for position, request in enumerate(queue):
+                if (
+                    request.kind == KIND_TEMPO_PREFETCH
+                    and request.origin_pt_id == pt_req_id
+                ):
+                    del queue[position]
+                    self.stats.counter("prefetch_cancelled_late").add()
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+
+    def _drain_channel_until(self, channel, time):
+        queue = self._queues[channel]
+        while queue:
+            earliest = min(
+                max(self._clock[channel], request.not_before) for request in queue
+            )
+            if earliest >= time:
+                return
+            self._service_next(channel)
+
+    def _service_next(self, channel):
+        """Schedule and service exactly one request on *channel*."""
+        queue = self._queues[channel]
+        if not queue:
+            return None
+        now = self._clock[channel]
+        context = _SchedulerContext(self, now)
+        request = self.scheduler.pick(queue, now, context)
+        if request is None:
+            # Nothing eligible yet: jump to the earliest availability,
+            # accounting for grace-period reservations (which always
+            # expire, so this cannot deadlock).
+            self._clock[channel] = min(
+                self._available_at(req, now) for req in queue
+            )
+            context = _SchedulerContext(self, self._clock[channel])
+            request = self.scheduler.pick(queue, self._clock[channel], context)
+            if request is None:
+                return None
+        queue.remove(request)
+        return self._service(channel, request)
+
+    def _available_at(self, request, now):
+        """Earliest time *request* becomes schedulable."""
+        available = request.not_before
+        bank = self.device.bank_for(request.paddr)
+        if bank.reserved_against(request.cpu, max(now, available)):
+            available = max(available, bank.reserved_until)
+        return available
+
+    def _service(self, channel, request):
+        keep_open_extra = None
+        latency_override = None
+        if self.engine is not None and self.engine.active:
+            if request.kind == KIND_PT and request.tempo_tagged:
+                keep_open_extra = self.engine.config.wait_cycles
+            elif request.kind == KIND_TEMPO_PREFETCH:
+                # The row prefetch is a bare activation into the row
+                # buffer (paper: 60-100 cycles), not a full column access.
+                latency_override = self.engine.config.prefetch_row_cycles
+        start, end, outcome = self.device.access(
+            request.paddr,
+            self._clock[channel],
+            keep_open_extra,
+            cpu=request.cpu,
+            is_prefetch=request.is_prefetch,
+            latency_override=latency_override,
+        )
+        request.start_time = start
+        request.outcome = outcome
+        request.finish_time = end + self._overhead
+        # Bus occupied for the burst; the bank keeps working until `end`.
+        self._clock[channel] = start + self._bus_cycles
+        self.scheduler.on_scheduled(request, start)
+        if self.energy is not None:
+            self.energy.record_dram_access(outcome, request.is_prefetch)
+        served = self._served_counters.get(request.kind)
+        if served is None:
+            served = self.stats.counter("served_%s" % request.kind)
+            self._served_counters[request.kind] = served
+        served.value += 1
+        outcome_key = (request.kind, outcome)
+        outcome_counter = self._outcome_counters.get(outcome_key)
+        if outcome_counter is None:
+            outcome_counter = self.stats.counter(
+                "outcome_%s_%s" % (request.kind, outcome)
+            )
+            self._outcome_counters[outcome_key] = outcome_counter
+        outcome_counter.value += 1
+        if request.kind == KIND_PT and request.pt_leaf:
+            self._served_pt_leaf.value += 1
+        self._post_service_hooks(request, end)
+        return request
+
+    def _post_service_hooks(self, request, end):
+        if self.engine is None:
+            return
+        if request.kind == KIND_PT and request.tempo_tagged:
+            prefetch = self.engine.build_prefetch(request, end)
+            if prefetch is not None:
+                accepted = self.enqueue(prefetch)
+                if accepted:
+                    self.stats.counter("tempo_prefetches_enqueued").add()
+            else:
+                self._outcomes[request.req_id] = PrefetchOutcome(0, dropped=True)
+        elif request.kind == KIND_TEMPO_PREFETCH:
+            # The LLC ship-out starts when the row buffer has the data
+            # (`end`); the controller-overhead return path overlaps it.
+            self._outcomes[request.origin_pt_id] = PrefetchOutcome(
+                request.paddr,
+                row_ready_at=end,
+                llc_ready_at=self.engine.llc_ready_time(end),
+            )
+            grace = self.engine.config.grace_period_cycles
+            if grace > 0:
+                self.device.bank_for(request.paddr).reserve(request.cpu, end + grace)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self):
+        return max(self._clock)
+
+    def pending_requests(self):
+        return sum(len(queue) for queue in self._queues)
+
+    def __repr__(self):
+        return "MemoryController(%s, %d pending)" % (
+            self.scheduler.name,
+            self.pending_requests(),
+        )

@@ -1,0 +1,45 @@
+"""Trace-driven system simulator.
+
+``trace`` defines trace records and the deterministic virtual-memory
+layout contract between workload generators and the simulator;
+``system`` is the single-core reference-by-reference engine implementing
+the paper's Figure 5/6 timeline; ``multicore`` interleaves several cores
+through the shared LLC and memory controller; ``metrics`` holds the
+result structures every experiment reports; ``runner`` offers one-call
+experiment helpers.
+"""
+
+from repro.sim.trace import Trace, TraceRecord, plan_virtual_layout
+from repro.sim.traceio import load_trace, save_trace
+from repro.sim.metrics import (
+    DramReferenceBreakdown,
+    RuntimeBreakdown,
+    SimulationResult,
+    max_slowdown,
+    weighted_speedup,
+)
+from repro.sim.system import SystemSimulator
+from repro.sim.multicore import MulticoreSimulator
+from repro.sim.runner import (
+    run_baseline_and_tempo,
+    run_workload,
+    speedup_fraction,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "plan_virtual_layout",
+    "save_trace",
+    "load_trace",
+    "RuntimeBreakdown",
+    "DramReferenceBreakdown",
+    "SimulationResult",
+    "weighted_speedup",
+    "max_slowdown",
+    "SystemSimulator",
+    "MulticoreSimulator",
+    "run_workload",
+    "run_baseline_and_tempo",
+    "speedup_fraction",
+]

@@ -1,0 +1,640 @@
+"""The trace-driven system simulator (paper Figures 5 and 6).
+
+Each trace record flows through the full machine:
+
+1. non-memory work (``gap`` cycles), then the TLB;
+2. on a TLB miss, the page-table walk: MMU-cache probes, then real
+   memory references per level through L1/L2/LLC and -- for misses --
+   DRAM via the memory controller.  The leaf request carries TEMPO's tag
+   and the replay's cache-line index;
+3. when the leaf-PT access hit DRAM and TEMPO is on, the controller's
+   prefetch engine has enqueued the replay-data prefetch; the simulator
+   advances the controller to the replay's LLC-lookup time and asks what
+   the prefetch achieved;
+4. the post-translation (replay or regular) access runs through the
+   caches and, if needed, DRAM -- enjoying the prefetched LLC line or
+   open row when TEMPO was timely.
+
+Cycle accounting lands in the Figure-1 buckets (DRAM-PTW / DRAM-Replay /
+DRAM-Other), DRAM reference counting in the Figure-4 buckets, and replay
+service classification in the Figure-11 buckets.
+
+Multiprogrammed runs are event-driven: each core's engine is a generator
+that yields its memory requests; the driver lets every core run until it
+blocks, then services the shared memory controller's queues in
+decision-time order until someone's request completes -- so requests
+from different cores genuinely contend in the transaction queues.  Cores
+share the LLC, the memory controller, and physical memory, but have
+private L1/L2, TLBs, MMU caches, page tables, and address spaces
+(separate processes).
+"""
+
+from repro.common.addressing import cache_line_base, translate
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.imp import ImpPrefetcher
+from repro.core.prefetch_engine import PrefetchEngine
+from repro.dram.energy import EnergyModel
+from repro.mmu.mmu_cache import MmuCaches
+from repro.mmu.tlb import TlbHierarchy
+from repro.mmu.walker import PageTableWalker
+from repro.sched.controller import MemoryController
+from repro.sched.request import KIND_DEMAND, KIND_IMP_PREFETCH, KIND_PT, MemoryRequest
+from repro.sim.metrics import (
+    CoreResult,
+    DramReferenceBreakdown,
+    ReplayServiceBreakdown,
+    RuntimeBreakdown,
+    SimulationResult,
+)
+from repro.vm.address_space import AddressSpace
+from repro.vm.frame_allocator import FrameAllocator
+from repro.vm.superpage import make_policy
+
+
+class _CoreContext:
+    """Per-core machine state: one process on one core."""
+
+    __slots__ = (
+        "cpu",
+        "trace",
+        "address_space",
+        "tlb",
+        "mmu_caches",
+        "walker",
+        "imp",
+        "time",
+        "position",
+        "measure_start_time",
+        "measure_start_position",
+        "runtime",
+        "dram_refs",
+        "replay_service",
+        "pending_prefetch_lines",
+        "next_same_pattern",
+    )
+
+    def __init__(self, cpu, trace, address_space, tlb, mmu_caches, walker, imp):
+        self.cpu = cpu
+        self.trace = trace
+        self.address_space = address_space
+        self.tlb = tlb
+        self.mmu_caches = mmu_caches
+        self.walker = walker
+        self.imp = imp
+        self.time = 0
+        self.position = 0
+        self.measure_start_time = 0
+        self.measure_start_position = 0
+        self.runtime = RuntimeBreakdown()
+        self.dram_refs = DramReferenceBreakdown()
+        self.replay_service = ReplayServiceBreakdown()
+        #: In-flight IMP prefetches: line_id -> completion time.
+        self.pending_prefetch_lines = {}
+        self.next_same_pattern = trace.next_same_pattern() if imp is not None else None
+
+    @property
+    def done(self):
+        return self.position >= len(self.trace.records)
+
+
+class SystemSimulator:
+    """See module docstring.  One or more traces, one shared memory
+    system."""
+
+    def __init__(self, config, traces, seed=None):
+        if isinstance(traces, (list, tuple)):
+            trace_list = list(traces)
+        else:
+            trace_list = [traces]
+        if not trace_list:
+            raise SimulationError("need at least one trace")
+        if not isinstance(config, SystemConfig):
+            raise TypeError("config must be a SystemConfig")
+        config.validate()
+        if config.num_cores != len(trace_list):
+            config = config.copy_with(num_cores=len(trace_list))
+        self.config = config
+        self.seed = seed if seed is not None else config.seed
+        rng = DeterministicRng(self.seed, "system")
+
+        tempo_on = config.tempo.enabled
+        self.allocator = FrameAllocator(config.vm.phys_mem_bytes, rng.derive("allocator"))
+        self.hierarchy = CacheHierarchy(config, num_cores=len(trace_list))
+        self.energy = EnergyModel(config.energy, tempo_enabled=tempo_on)
+        self.engine = PrefetchEngine(config.tempo) if tempo_on else None
+        self.controller = MemoryController(config, self.energy, self.engine)
+        self.stats = StatGroup("system")
+
+        # hugetlbfs pools must be reserved before memhog fragments memory.
+        self.cores = []
+        for cpu, trace in enumerate(trace_list):
+            policy = make_policy(config.vm, self.allocator, trace.footprint_bytes)
+            address_space = AddressSpace(self.allocator, policy)
+            self._register_regions(address_space, trace)
+            tlb = TlbHierarchy(config.tlb, "tlb.%d" % cpu)
+            mmu_caches = MmuCaches(config.mmu_cache, "mmu_cache.%d" % cpu)
+            walker = PageTableWalker(
+                address_space.page_table, mmu_caches, tempo_tagging=tempo_on
+            )
+            imp = ImpPrefetcher(config.imp, "imp.%d" % cpu) if config.imp.enabled else None
+            self.cores.append(
+                _CoreContext(cpu, trace, address_space, tlb, mmu_caches, walker, imp)
+            )
+        self.allocator.apply_memhog(config.vm.memhog_fraction)
+
+        core_config = config.core
+        self._nonmem_per_gap = core_config.nonmem_cycles_per_gap
+        self._llc_latency = core_config.llc_latency
+        self._tlb_fill_latency = core_config.tlb_fill_latency
+        self._mmu_latency = config.mmu_cache.latency
+        self._imp_distance = config.imp.max_prefetch_distance
+
+    @staticmethod
+    def _register_regions(address_space, trace):
+        for spec in trace.regions:
+            region = address_space.allocate_region(
+                spec.size, spec.name, spec.allow_superpages, spec.thp_eligibility
+            )
+            if region.base != spec.base:
+                raise SimulationError(
+                    "region %r planned at 0x%x but allocated at 0x%x -- "
+                    "generator and AddressSpace layouts diverged"
+                    % (spec.name, spec.base, region.base)
+                )
+
+    # ------------------------------------------------------------------
+    # Top-level run loops
+    # ------------------------------------------------------------------
+
+    def run(self, max_records=None, warmup=None):
+        """Simulate to completion (or *max_records* per core).
+
+        *warmup* records per core (default: a third of the run) are
+        simulated with full state effects but excluded from every
+        reported metric -- the paper's traces capture steady-state
+        execution, so first-touch transients (demand faults, cold upper
+        page-table levels) must not pollute the breakdowns.
+
+        Returns a :class:`~repro.sim.metrics.SimulationResult`.
+        """
+        limits = []
+        for core in self.cores:
+            limit = len(core.trace.records)
+            if max_records is not None:
+                limit = min(limit, max_records)
+            limits.append(limit)
+        if warmup is None:
+            warmup = min(limits) // 3
+        warmup = min(warmup, min(limits) - 1) if min(limits) > 0 else 0
+
+        if len(self.cores) == 1:
+            self._run_single(self.cores[0], limits[0], warmup)
+        else:
+            self._run_interleaved(limits, warmup)
+        final_time = self.controller.drain_all()
+        total_cycles = max(max(core.time for core in self.cores), final_time)
+        return self._build_result(total_cycles)
+
+    def _reset_measurement(self, core):
+        """End of this core's warmup: zero its metric accumulators."""
+        core.measure_start_time = core.time
+        core.measure_start_position = core.position
+        core.runtime = RuntimeBreakdown()
+        core.dram_refs = DramReferenceBreakdown()
+        core.replay_service = ReplayServiceBreakdown()
+
+    def _run_single(self, core, limit, warmup):
+        records = core.trace.records
+        while core.position < limit:
+            if core.position == warmup:
+                self._reset_measurement(core)
+                self.energy.reset()
+            self._process_record(core, records[core.position])
+            core.position += 1
+
+    def _run_interleaved(self, limits, warmup):
+        """Event-driven interleave of per-core streams.
+
+        Cores advance until each blocks on a DRAM request (or runs out
+        of records); only then does the controller service queues -- one
+        request at a time, always on the channel with the earliest
+        decision time -- until a blocked core's request completes and
+        that core resumes.  Because a blocked core cannot submit again
+        before its completion, every service decision sees every request
+        that could causally compete with it.
+        """
+        controller = self.controller
+        warm_cores = 0
+        # Per-cpu state: ("run", generator, reply) | ("blocked",) | None.
+        state = {}
+        blocked = {}  # req_id -> (cpu, generator, request)
+
+        def start_next(core):
+            """Begin the core's next record (handling warmup), or None."""
+            nonlocal warm_cores
+            if core.position >= limits[core.cpu]:
+                return None
+            if core.position == warmup:
+                self._reset_measurement(core)
+                warm_cores += 1
+                if warm_cores == len(self.cores):
+                    self.energy.reset()
+            return self._record_events(core, core.trace.records[core.position])
+
+        _START = object()
+        for core, limit in zip(self.cores, limits):
+            events = start_next(core) if limit > 0 else None
+            state[core.cpu] = ("run", events, _START) if events else None
+
+        while True:
+            # Phase A: run every unblocked core until it blocks or ends.
+            for cpu in sorted(state):
+                entry = state[cpu]
+                if entry is None or entry[0] != "run":
+                    continue
+                _, events, reply = entry
+                core = self.cores[cpu]
+                while True:
+                    try:
+                        event = next(events) if reply is _START else events.send(reply)
+                    except StopIteration:
+                        core.position += 1
+                        events = start_next(core)
+                        if events is None:
+                            state[cpu] = None
+                            break
+                        reply = _START
+                        continue
+                    if event[0] == "advance":
+                        controller.advance_to(event[1])
+                        reply = None
+                        continue
+                    # ("dram", request, submit_time)
+                    request = event[1]
+                    if not controller.submit_async(request, event[2]):
+                        reply = None  # dropped prefetch-kind request
+                        continue
+                    blocked[request.req_id] = (cpu, events, request)
+                    state[cpu] = ("blocked",)
+                    break
+
+            if not blocked:
+                break  # every core finished its records
+
+            # Phase B: service queues in decision-time order until at
+            # least one blocked request completes.  (An "advance" during
+            # Phase A may already have serviced a blocked request, so
+            # completion is detected on the request, not the return.)
+            resumed = []
+            while True:
+                for req_id in list(blocked):
+                    cpu, events, request = blocked[req_id]
+                    if request.finish_time is not None:
+                        resumed.append((cpu, events, request.finish_time))
+                        del blocked[req_id]
+                if resumed:
+                    break
+                pending_channels = [
+                    ch
+                    for ch in range(controller.num_channels)
+                    if controller.has_pending(ch)
+                ]
+                if not pending_channels:
+                    raise SimulationError(
+                        "cores blocked on requests that are neither queued "
+                        "nor serviced -- controller state is inconsistent"
+                    )
+                channel = min(pending_channels, key=controller.next_decision_time)
+                controller.service_one(channel)
+            for cpu, events, finish in resumed:
+                state[cpu] = ("run", events, finish)
+
+    def _build_result(self, total_cycles):
+        core_results = []
+        measured_cycles = 0
+        for core in self.cores:
+            references = core.position - core.measure_start_position
+            core.runtime.total_cycles = core.time - core.measure_start_time
+            measured_cycles = max(measured_cycles, core.runtime.total_cycles)
+            core_results.append(
+                CoreResult(
+                    core.trace.name,
+                    references,
+                    core.runtime,
+                    core.dram_refs,
+                    core.replay_service,
+                )
+            )
+        total_cycles = measured_cycles if measured_cycles > 0 else total_cycles
+        superpage_fraction = (
+            sum(core.address_space.superpage_fraction() for core in self.cores)
+            / len(self.cores)
+        )
+        stats = {}
+        stats.update(self.controller.stats.as_dict())
+        stats.update(self.energy.stats.as_dict())
+        return SimulationResult(
+            core_results,
+            self.energy.total_energy(total_cycles),
+            superpage_fraction,
+            stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-reference engine
+    # ------------------------------------------------------------------
+
+    # The engine is written as a *generator*: each memory-system
+    # interaction is yielded as an event, and the driver supplies the
+    # completion time.  The single-core driver answers events
+    # synchronously (identical timing to a direct implementation); the
+    # multicore driver interleaves events from all cores through the
+    # shared controller in causally-correct order.
+    #
+    # Event protocol:
+    #   ("dram", request, submit_time) -> reply: finish time, or None
+    #       when a prefetch-kind request was dropped at enqueue.
+    #   ("advance", time)              -> reply: None (controller has
+    #       serviced everything schedulable before `time`).
+
+    def _process_record(self, core, record):
+        """Single-core driver: answer each event immediately."""
+        events = self._record_events(core, record)
+        try:
+            event = next(events)
+            while True:
+                if event[0] == "dram":
+                    reply = self.controller.submit_and_wait(event[1], event[2])
+                else:
+                    self.controller.advance_to(event[1])
+                    reply = None
+                event = events.send(reply)
+        except StopIteration:
+            pass
+
+    def _record_events(self, core, record):
+        time = core.time + record.gap * self._nonmem_per_gap
+        self._expire_pending_prefetches(core, time)
+
+        vaddr = record.vaddr
+        hit = core.tlb.lookup(vaddr)
+        walked = False
+        leaf_pt_request = None
+        if hit is not None:
+            frame, page_size, extra_latency = hit
+            time += 1 + extra_latency
+        else:
+            walked = True
+            time, frame, page_size, leaf_pt_request = yield from self._walk(
+                core, vaddr, time
+            )
+
+        paddr = translate(vaddr, frame, page_size)
+        time = yield from self._post_translation(
+            core, record, paddr, time, walked, leaf_pt_request
+        )
+
+        for victim in self.hierarchy.drain_writebacks():
+            self.controller.submit_writeback(victim.paddr, core.cpu, time)
+            core.dram_refs.writeback += 1
+
+        if core.imp is not None:
+            yield from self._imp_trigger(core, record, time)
+
+        core.time = time
+
+    # -- translation ----------------------------------------------------
+
+    def _walk(self, core, vaddr, time):
+        """Execute a page-table walk; returns
+        ``(time, frame, page_size, leaf_pt_request_or_None)`` where the
+        request is non-None only when the leaf access reached DRAM."""
+        time += 1  # TLB probe that missed
+        plan = core.walker.plan(vaddr)
+        if plan.faulted:
+            # Demand paging: the OS maps the page (steady-state traces,
+            # so fault service time is not modelled -- see DESIGN.md).
+            core.address_space.handle_fault(vaddr)
+            plan = core.walker.plan(vaddr)
+            if plan.faulted:
+                raise SimulationError("walk still faults after demand mapping")
+        leaf_pt_request = None
+        for step in plan.steps:
+            if step.from_mmu_cache:
+                time += self._mmu_latency
+                continue
+            time, dram_request = yield from self._fetch_pt_entry(core, plan, step, time)
+            if step.is_leaf and dram_request is not None:
+                leaf_pt_request = dram_request
+                core.dram_refs.walks_with_dram_leaf += 1
+        core.walker.complete(plan)
+        frame = plan.entry.frame_paddr
+        page_size = plan.entry.page_size
+        core.tlb.fill(vaddr, frame, page_size)
+        time += self._tlb_fill_latency
+        return time, frame, page_size, leaf_pt_request
+
+    def _fetch_pt_entry(self, core, plan, step, time):
+        """One walk memory reference through caches (and maybe DRAM)."""
+        result = self.hierarchy.access(core.cpu, step.entry_paddr)
+        time += result.latency
+        if not result.needs_dram:
+            return time, None
+        request = MemoryRequest(
+            cache_line_base(step.entry_paddr),
+            KIND_PT,
+            cpu=core.cpu,
+            enqueue_time=time,
+            pt_leaf=step.is_leaf,
+            tempo_tagged=step.is_leaf and core.walker.tempo_tagging,
+            pte=plan.entry if step.is_leaf else None,
+            replay_line_index=plan.replay_line_index,
+        )
+        finish = yield ("dram", request, time)
+        dram_cycles = finish - time
+        core.runtime.dram_ptw_cycles += dram_cycles
+        if step.is_leaf:
+            core.dram_refs.ptw_leaf += 1
+        else:
+            core.dram_refs.ptw_upper += 1
+            self.stats.histogram("ptw_dram_upper_level").record(step.level)
+        self.hierarchy.fill_from_memory(core.cpu, step.entry_paddr)
+        self.energy.record_llc_fill()
+        return finish, request
+
+    # -- post-translation access -----------------------------------------
+
+    def _post_translation(self, core, record, paddr, time, walked, leaf_pt_request):
+        """The replay (after a walk) or regular (after a TLB hit) access."""
+        tempo_active = self.engine is not None and leaf_pt_request is not None
+        outcome = None
+        if tempo_active:
+            # Let the queued prefetch land within the slack window, then
+            # see what it achieved.
+            llc_lookup_time = time + self._llc_latency
+            yield ("advance", llc_lookup_time)
+            outcome = self.controller.take_prefetch_outcome(leaf_pt_request.req_id)
+            if (
+                outcome is not None
+                and not outcome.dropped
+                and outcome.llc_ready_at is not None
+                and outcome.llc_ready_at <= llc_lookup_time
+            ):
+                # Timely LLC prefetch: the replay hits in the LLC.
+                self.hierarchy.prefetch_fill_llc(cache_line_base(paddr))
+                self.energy.record_llc_fill()
+                probe = self.hierarchy.access(core.cpu, paddr, record.is_write)
+                core.replay_service.llc += 1
+                return time + probe.latency
+
+        # Wait out any in-flight IMP prefetch covering this line (MSHR merge).
+        line = cache_line_base(paddr)
+        pending_completion = core.pending_prefetch_lines.pop(line, None)
+        if pending_completion is not None and pending_completion > time:
+            time = pending_completion
+
+        result = self.hierarchy.access(core.cpu, paddr, record.is_write)
+        time += result.latency
+        if not result.needs_dram:
+            if tempo_active:
+                # Served on-chip anyway; count with the LLC bucket.
+                core.replay_service.llc += 1
+            return time
+
+        if tempo_active and outcome is None:
+            # The prefetch never got serviced in time; it is useless now.
+            self.controller.cancel_prefetch(leaf_pt_request.req_id)
+
+        request = MemoryRequest(
+            line, KIND_DEMAND, cpu=core.cpu, is_write=record.is_write, enqueue_time=time
+        )
+        finish = yield ("dram", request, time)
+        dram_cycles = finish - time
+        self.hierarchy.fill_from_memory(core.cpu, paddr, record.is_write)
+        self.energy.record_llc_fill()
+
+        if walked:
+            core.runtime.dram_replay_cycles += dram_cycles
+            core.dram_refs.replay += 1
+            if leaf_pt_request is not None:
+                core.dram_refs.replay_also_dram += 1
+            if tempo_active:
+                row_prefetched = (
+                    outcome is not None
+                    and not outcome.dropped
+                    and outcome.row_ready_at is not None
+                )
+                if row_prefetched and request.outcome == "hit":
+                    core.replay_service.row_buffer += 1
+                else:
+                    core.replay_service.unaided += 1
+        else:
+            core.runtime.dram_other_cycles += dram_cycles
+            core.dram_refs.other += 1
+        return finish
+
+    # -- IMP prefetching ---------------------------------------------------
+
+    def _expire_pending_prefetches(self, core, time):
+        if not core.pending_prefetch_lines:
+            return
+        expired = [
+            line
+            for line, completion in core.pending_prefetch_lines.items()
+            if completion <= time
+        ]
+        for line in expired:
+            del core.pending_prefetch_lines[line]
+
+    def _imp_trigger(self, core, record, time):
+        position = core.position
+        next_same = core.next_same_pattern
+        upcoming = []
+        index = next_same[position]
+        while index != -1 and index - position <= self._imp_distance:
+            upcoming.append((index, core.trace.records[index].vaddr))
+            if len(upcoming) >= 4:
+                break
+            index = next_same[index]
+        targets = core.imp.observe(record.pattern, position, upcoming)
+        for target_vaddr in targets:
+            yield from self._issue_imp_prefetch(core, target_vaddr, time)
+
+    def _issue_imp_prefetch(self, core, vaddr, time):
+        """Run one IMP prefetch down its own (non-blocking) path.
+
+        The prefetch performs a real translation -- including, on a TLB
+        miss, a full walk whose leaf-PT DRAM access triggers TEMPO --
+        then fetches the data line.  The core does not stall; instead
+        the completion time gates when the prefetched line becomes
+        usable (MSHR-style merge in :meth:`_post_translation`).
+        """
+        path_time = time
+        hit = core.tlb.lookup(vaddr)
+        leaf_pt_request = None
+        if hit is not None:
+            frame, page_size, extra_latency = hit
+            path_time += 1 + extra_latency
+        else:
+            plan = core.walker.plan(vaddr)
+            if plan.faulted:
+                # Prefetching must not fault pages in; drop it.
+                core.imp.stats.counter("dropped_unmapped").add()
+                return
+            for step in plan.steps:
+                if step.from_mmu_cache:
+                    path_time += self._mmu_latency
+                    continue
+                path_time, dram_request = yield from self._fetch_pt_entry(
+                    core, plan, step, path_time
+                )
+                if step.is_leaf and dram_request is not None:
+                    leaf_pt_request = dram_request
+                    core.dram_refs.walks_with_dram_leaf += 1
+            core.walker.complete(plan)
+            frame = plan.entry.frame_paddr
+            page_size = plan.entry.page_size
+            core.tlb.fill(vaddr, frame, page_size)
+            path_time += self._tlb_fill_latency
+        paddr = translate(vaddr, frame, page_size)
+        line = cache_line_base(paddr)
+        if line in core.pending_prefetch_lines:
+            return
+
+        tempo_active = self.engine is not None and leaf_pt_request is not None
+        if tempo_active:
+            llc_lookup_time = path_time + self._llc_latency
+            yield ("advance", llc_lookup_time)
+            outcome = self.controller.take_prefetch_outcome(leaf_pt_request.req_id)
+            if (
+                outcome is not None
+                and not outcome.dropped
+                and outcome.llc_ready_at is not None
+                and outcome.llc_ready_at <= llc_lookup_time
+            ):
+                self.hierarchy.prefetch_fill_llc(line)
+                self.energy.record_llc_fill()
+                core.replay_service.llc += 1
+                core.pending_prefetch_lines[line] = llc_lookup_time
+                return
+
+        result = self.hierarchy.access(core.cpu, paddr)
+        path_time += result.latency
+        if result.needs_dram:
+            request = MemoryRequest(
+                line, KIND_IMP_PREFETCH, cpu=core.cpu, enqueue_time=path_time
+            )
+            # Serviced on the prefetch path's own clock so bank state and
+            # the completion time are real.
+            finish = yield ("dram", request, path_time)
+            if finish is None:  # dropped: TxQ full
+                return
+            path_time = finish
+            self.hierarchy.fill_from_memory(core.cpu, paddr)
+            self.energy.record_llc_fill()
+            core.dram_refs.prefetch += 1
+        core.pending_prefetch_lines[line] = path_time

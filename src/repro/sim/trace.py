@@ -1,0 +1,124 @@
+"""Memory traces and the virtual-layout contract.
+
+A trace is the paper's Pin-log equivalent: an ordered list of memory
+references, each with a virtual address, read/write flag, the cycles of
+non-memory work preceding it, and an optional *pattern* label marking
+which indirect stream (``A[B[i]]``) the access belongs to -- the ground
+truth the IMP prefetcher model consumes (see :mod:`repro.cache.imp`).
+
+Workload generators and the simulator must agree on where regions live
+in virtual memory; :func:`plan_virtual_layout` is the single source of
+truth (it mirrors ``AddressSpace.allocate_region``).
+"""
+
+from repro.common.constants import PAGE_SIZE_1G
+from repro.common.errors import SimulationError
+from repro.vm.address_space import REGION_SPACE_BASE
+
+
+class TraceRecord:
+    """One memory reference."""
+
+    __slots__ = ("vaddr", "is_write", "gap", "pattern")
+
+    def __init__(self, vaddr, is_write=False, gap=0, pattern=None):
+        self.vaddr = vaddr
+        self.is_write = is_write
+        self.gap = gap
+        self.pattern = pattern
+
+    def __repr__(self):
+        mode = "W" if self.is_write else "R"
+        return "TraceRecord(%s 0x%x, gap=%d)" % (mode, self.vaddr, self.gap)
+
+
+class RegionSpec:
+    """A region the workload expects to exist, with its planned base."""
+
+    __slots__ = ("name", "size", "base", "allow_superpages", "thp_eligibility")
+
+    def __init__(self, name, size, base, allow_superpages=True, thp_eligibility=1.0):
+        self.name = name
+        self.size = size
+        self.base = base
+        self.allow_superpages = allow_superpages
+        self.thp_eligibility = thp_eligibility
+
+    def __repr__(self):
+        return "RegionSpec(%s @0x%x, %d MB)" % (
+            self.name,
+            self.base,
+            self.size // (1024 * 1024),
+        )
+
+
+def plan_virtual_layout(sizes):
+    """Compute the deterministic region bases for ordered *sizes*.
+
+    Mirrors ``AddressSpace.allocate_region``: each region starts at the
+    1 GB boundary after the previous region's end plus a 1 GB guard gap,
+    beginning at ``REGION_SPACE_BASE``.
+    """
+    bases = []
+    next_base = REGION_SPACE_BASE
+    for size in sizes:
+        if size <= 0:
+            raise SimulationError("region sizes must be positive")
+        bases.append(next_base)
+        end = next_base + size
+        next_base = ((end + PAGE_SIZE_1G - 1) // PAGE_SIZE_1G + 1) * PAGE_SIZE_1G
+    return bases
+
+
+class Trace:
+    """An ordered reference stream plus the regions it touches."""
+
+    def __init__(self, name, records, regions, footprint_bytes=None):
+        self.name = name
+        self.records = records
+        self.regions = regions
+        self.footprint_bytes = (
+            footprint_bytes
+            if footprint_bytes is not None
+            else sum(region.size for region in regions)
+        )
+        self._next_same_pattern = None
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def validate(self):
+        """Check every reference falls inside a declared region."""
+        spans = sorted((region.base, region.base + region.size) for region in self.regions)
+        for record in self.records:
+            if not any(base <= record.vaddr < end for base, end in spans):
+                raise SimulationError(
+                    "trace %r references 0x%x outside every region"
+                    % (self.name, record.vaddr)
+                )
+        return self
+
+    def next_same_pattern(self):
+        """``next_index[i]`` = trace position of the next record sharing
+        record *i*'s pattern label (or -1).  Computed once, O(n); this is
+        the lookahead oracle the IMP model consumes."""
+        if self._next_same_pattern is None:
+            next_index = [-1] * len(self.records)
+            last_seen = {}
+            for position in range(len(self.records) - 1, -1, -1):
+                pattern = self.records[position].pattern
+                if pattern is not None:
+                    next_index[position] = last_seen.get(pattern, -1)
+                    last_seen[pattern] = position
+            self._next_same_pattern = next_index
+        return self._next_same_pattern
+
+    def __repr__(self):
+        return "Trace(%s, %d refs, %d MB footprint)" % (
+            self.name,
+            len(self.records),
+            self.footprint_bytes // (1024 * 1024),
+        )

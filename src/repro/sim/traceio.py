@@ -1,0 +1,101 @@
+"""Trace serialization.
+
+Traces can be generated once and replayed across many configurations --
+exactly how the paper uses its Pin logs.  The on-disk format is a JSON
+header line (trace name, footprint, region table) followed by one
+compact line per record::
+
+    {"name": "xsbench", "footprint_bytes": ..., "regions": [...]}
+    140737488355328,0,1,
+    140737488359424,1,2,xs0
+
+Record fields: ``vaddr,is_write,gap,pattern`` (pattern empty when
+unlabeled).  The format is line-oriented so traces can be streamed,
+diffed, and compressed externally.
+"""
+
+import json
+
+from repro.common.errors import SimulationError
+from repro.sim.trace import RegionSpec, Trace, TraceRecord
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace, path):
+    """Write *trace* to *path*; returns the number of records written."""
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "footprint_bytes": trace.footprint_bytes,
+        "regions": [
+            {
+                "name": region.name,
+                "size": region.size,
+                "base": region.base,
+                "allow_superpages": region.allow_superpages,
+                "thp_eligibility": region.thp_eligibility,
+            }
+            for region in trace.regions
+        ],
+    }
+    with open(path, "w") as stream:
+        stream.write(json.dumps(header))
+        stream.write("\n")
+        for record in trace.records:
+            stream.write(
+                "%d,%d,%d,%s\n"
+                % (
+                    record.vaddr,
+                    1 if record.is_write else 0,
+                    record.gap,
+                    record.pattern if record.pattern is not None else "",
+                )
+            )
+    return len(trace.records)
+
+
+def load_trace(path):
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as stream:
+        header_line = stream.readline()
+        if not header_line.strip():
+            raise SimulationError("%s: empty trace file" % path)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as error:
+            raise SimulationError("%s: bad trace header: %s" % (path, error))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise SimulationError(
+                "%s: unsupported trace format version %r"
+                % (path, header.get("format_version"))
+            )
+        regions = [
+            RegionSpec(
+                entry["name"],
+                entry["size"],
+                entry["base"],
+                entry.get("allow_superpages", True),
+                entry.get("thp_eligibility", 1.0),
+            )
+            for entry in header["regions"]
+        ]
+        records = []
+        for line_number, line in enumerate(stream, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                vaddr_text, write_text, gap_text, pattern = line.split(",", 3)
+                record = TraceRecord(
+                    int(vaddr_text),
+                    write_text == "1",
+                    int(gap_text),
+                    pattern if pattern else None,
+                )
+            except ValueError as error:
+                raise SimulationError(
+                    "%s:%d: bad trace record: %s" % (path, line_number, error)
+                )
+            records.append(record)
+    return Trace(header["name"], records, regions, header.get("footprint_bytes"))

@@ -1,0 +1,35 @@
+"""OS virtual-memory model.
+
+This package is the software half of the paper's substrate: a physical
+frame allocator with fragmentation injection (standing in for Linux's
+buddy allocator + memhog), an x86-64 four-level radix page table whose
+table pages occupy *real* allocated frames (so every walk step has a
+physical address with DRAM-row locality), superpage policies (THP,
+hugetlbfs 2 MB / 1 GB), and a per-process address space that demand-maps
+pages on first touch.
+"""
+
+from repro.vm.frame_allocator import FrameAllocator
+from repro.vm.page_table import PageTable, PageTableEntry, WalkResult
+from repro.vm.superpage import (
+    BasePagePolicy,
+    HugetlbfsPolicy,
+    SuperpagePolicy,
+    ThpPolicy,
+    make_policy,
+)
+from repro.vm.address_space import AddressSpace, Region
+
+__all__ = [
+    "FrameAllocator",
+    "PageTable",
+    "PageTableEntry",
+    "WalkResult",
+    "SuperpagePolicy",
+    "BasePagePolicy",
+    "ThpPolicy",
+    "HugetlbfsPolicy",
+    "make_policy",
+    "AddressSpace",
+    "Region",
+]

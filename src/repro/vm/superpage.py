@@ -1,0 +1,133 @@
+"""Superpage allocation policies (paper Secs. 2.2 and 6.2).
+
+Three OS behaviours are modelled:
+
+* :class:`BasePagePolicy` -- transparent hugepages disabled; everything is
+  a 4 KB page (the green triangles in Figure 13).
+* :class:`ThpPolicy` -- Linux transparent hugepage support: an aligned
+  2 MB chunk wholly inside a mapped region is opportunistically backed by
+  a 2 MB frame *when the allocator can find contiguous memory*; memhog
+  fragmentation makes that increasingly unlikely (the circles in
+  Figure 13).
+* :class:`HugetlbfsPolicy` -- explicit reservation: a pool of 2 MB or
+  1 GB pages is reserved up front (before fragmentation), so demands are
+  nearly always satisfied (the 2 MB circles at high coverage and the 1 GB
+  boxes in Figure 13).
+
+Every policy falls back to 4 KB pages when a superpage cannot be used,
+exactly like the kernel.
+"""
+
+from repro.common.constants import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.errors import AllocationError, ConfigError
+
+
+class SuperpagePolicy:
+    """Interface: pick the page size + frame backing a faulting address."""
+
+    name = "base"
+
+    def __init__(self, allocator):
+        self._allocator = allocator
+
+    def choose_mapping(self, region, vaddr):
+        """Return ``(page_vbase, frame_paddr, page_size)`` for the fault
+        at *vaddr* inside *region* (a :class:`~repro.vm.address_space.
+        Region`).  The caller installs the mapping."""
+        raise NotImplementedError
+
+    def _map_4k(self, vaddr):
+        page_vbase = vaddr & ~(PAGE_SIZE_4K - 1)
+        return page_vbase, self._allocator.alloc_4k(), PAGE_SIZE_4K
+
+    @staticmethod
+    def _chunk_fits(region, vaddr, page_size):
+        """True when the *page_size*-aligned chunk containing *vaddr*
+        lies wholly inside *region* (the kernel's THP eligibility test)."""
+        chunk_base = vaddr & ~(page_size - 1)
+        return chunk_base >= region.base and chunk_base + page_size <= region.end
+
+
+class BasePagePolicy(SuperpagePolicy):
+    """4 KB pages only."""
+
+    name = "4k-only"
+
+    def choose_mapping(self, region, vaddr):
+        return self._map_4k(vaddr)
+
+
+class ThpPolicy(SuperpagePolicy):
+    """Transparent 2 MB hugepages, subject to allocator contiguity.
+
+    A chunk that once fell back to 4 KB pages is *demoted*: later faults
+    inside it must not retry the 2 MB promotion, because a huge mapping
+    cannot be installed over live base-page PTEs (collapsing them is
+    khugepaged's job, which the paper's steady-state traces do not
+    exercise).
+    """
+
+    name = "thp-2m"
+
+    def __init__(self, allocator):
+        super().__init__(allocator)
+        self._demoted = set()
+
+    def choose_mapping(self, region, vaddr):
+        chunk_base = vaddr & ~(PAGE_SIZE_2M - 1)
+        if (
+            region.allow_superpages
+            and chunk_base not in self._demoted
+            and self._chunk_fits(region, vaddr, PAGE_SIZE_2M)
+            and region.chunk_eligible(chunk_base)
+        ):
+            frame = self._allocator.try_alloc_2m()
+            if frame is not None:
+                return chunk_base, frame, PAGE_SIZE_2M
+            self._demoted.add(chunk_base)
+        return self._map_4k(vaddr)
+
+
+class HugetlbfsPolicy(SuperpagePolicy):
+    """Explicitly reserved 2 MB or 1 GB pages (libhugetlbfs)."""
+
+    def __init__(self, allocator, page_size, pool_pages):
+        if page_size not in (PAGE_SIZE_2M, PAGE_SIZE_1G):
+            raise ConfigError("hugetlbfs supports 2 MB / 1 GB pages only")
+        super().__init__(allocator)
+        self.page_size = page_size
+        self.name = "hugetlbfs-%s" % ("2m" if page_size == PAGE_SIZE_2M else "1g")
+        self._pool = allocator.reserve_pool(page_size, pool_pages)
+
+    @property
+    def pool_remaining(self):
+        return len(self._pool)
+
+    def choose_mapping(self, region, vaddr):
+        if (
+            region.allow_superpages
+            and self._pool
+            and self._chunk_fits(region, vaddr, self.page_size)
+        ):
+            return vaddr & ~(self.page_size - 1), self._pool.pop(), self.page_size
+        return self._map_4k(vaddr)
+
+
+def make_policy(vm_config, allocator, expected_footprint_bytes=0):
+    """Build the policy implied by a :class:`~repro.common.config.VmConfig`.
+
+    hugetlbfs pools are sized from *expected_footprint_bytes* (plus one
+    page of slack); THP needs no sizing because it allocates lazily.
+    """
+    if vm_config.hugetlbfs_1g or vm_config.hugetlbfs_2m:
+        page_size = PAGE_SIZE_1G if vm_config.hugetlbfs_1g else PAGE_SIZE_2M
+        pool_pages = expected_footprint_bytes // page_size + 1
+        try:
+            return HugetlbfsPolicy(allocator, page_size, pool_pages)
+        except AllocationError:
+            # Boot-time reservation failed outright: behave like a kernel
+            # that could not satisfy the hugetlbfs mount.
+            return BasePagePolicy(allocator)
+    if vm_config.thp_enabled:
+        return ThpPolicy(allocator)
+    return BasePagePolicy(allocator)

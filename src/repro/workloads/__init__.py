@@ -1,0 +1,25 @@
+"""Synthetic workload generators standing in for the paper's Pin traces.
+
+One generator per evaluated application (Sec. 5.1): mcf, canneal, lsh,
+spmv, sgms, graph500, xsbench, illustris -- each reproducing that
+workload's memory-access *signature* (hot/cold mix, sequential vs.
+irregular streams, indirect ``A[B[i]]`` patterns for IMP, footprint
+scale) -- plus small-footprint Spec/Parsec stand-ins used to verify
+TEMPO does no harm (Figure 11 right).
+"""
+
+from repro.workloads.base import TraceBuilder
+from repro.workloads.registry import (
+    BIGDATA_WORKLOADS,
+    SMALL_WORKLOADS,
+    make_trace,
+    workload_names,
+)
+
+__all__ = [
+    "TraceBuilder",
+    "BIGDATA_WORKLOADS",
+    "SMALL_WORKLOADS",
+    "make_trace",
+    "workload_names",
+]

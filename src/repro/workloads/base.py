@@ -1,0 +1,141 @@
+"""Shared machinery for workload generators.
+
+A :class:`TraceBuilder` places regions eagerly using the same
+deterministic layout formula the simulator's AddressSpace uses (each
+region on the next 1 GB boundary plus a guard gap), owns a seeded RNG,
+and accumulates trace records.  Generators express their access patterns
+through region handles.
+"""
+
+from repro.common.constants import CACHE_LINE_BYTES, PAGE_SIZE_1G
+from repro.common.rng import DeterministicRng
+from repro.sim.trace import RegionSpec, Trace, TraceRecord
+from repro.vm.address_space import REGION_SPACE_BASE
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+
+class RegionHandle:
+    """A generator's view of one placed region."""
+
+    __slots__ = ("spec", "_rng")
+
+    def __init__(self, spec, rng):
+        self.spec = spec
+        self._rng = rng
+
+    @property
+    def base(self):
+        return self.spec.base
+
+    @property
+    def size(self):
+        return self.spec.size
+
+    def at(self, offset):
+        """Address at *offset* into the region (wraps around)."""
+        return self.spec.base + (offset % self.spec.size)
+
+    def random(self, align=8):
+        """Uniformly random aligned address inside the region."""
+        slots = self.spec.size // align
+        return self.spec.base + self._rng.randint(0, slots - 1) * align
+
+    def zipf(self, align=CACHE_LINE_BYTES, skew=0.99):
+        """Zipf-skewed address (hot head, long tail)."""
+        slots = self.spec.size // align
+        return self.spec.base + self._rng.zipf_index(slots, skew) * align
+
+    def clustered(
+        self,
+        chunk_bytes=2 * 1024 * 1024,
+        hot_chunks=2048,
+        tail=0.01,
+        align=CACHE_LINE_BYTES,
+    ):
+        """Irregular access with steady-state chunk reuse.
+
+        A *hot set* of ``hot_chunks`` 2 MB chunks, strided across the
+        whole region, receives ``1 - tail`` of the draws (uniform chunk,
+        uniform line within); the remaining ``tail`` explores the full
+        region.  This reproduces how real sparse workloads touch memory
+        in steady state: upper-level page-table entries (one per chunk,
+        revisited every few hundred references) stay cache-resident,
+        while leaf entries (one per 4 KB page, almost never revisited)
+        stay cold -- yielding the paper's observation that 96%+ of DRAM
+        page-table accesses are for leaf PTs (Sec. 2.2), with the page
+        working set still vastly exceeding TLB reach.
+        """
+        total_chunks = max(self.spec.size // chunk_bytes, 1)
+        hot_chunks = min(hot_chunks, total_chunks)
+        if tail > 0.0 and self._rng.random() < tail:
+            chunk = self._rng.randint(0, total_chunks - 1)
+        else:
+            stride = max(total_chunks // hot_chunks, 1)
+            chunk = (self._rng.randint(0, hot_chunks - 1) * stride) % total_chunks
+        lines = chunk_bytes // align
+        within = self._rng.randint(0, lines - 1) * align
+        return self.spec.base + chunk * chunk_bytes + within
+
+
+class TraceBuilder:
+    """Accumulates records + regions into a :class:`Trace`."""
+
+    def __init__(self, name, seed):
+        self.name = name
+        self.rng = DeterministicRng(seed, "workload.%s" % name)
+        self._specs = []
+        self._records = []
+        self._next_base = REGION_SPACE_BASE
+
+    def region(self, name, size, allow_superpages=True, thp_eligibility=1.0):
+        """Declare + place a region; returns its handle.
+
+        Placement mirrors ``AddressSpace.allocate_region`` exactly so the
+        simulator reproduces the same bases.
+        """
+        if size <= 0:
+            raise ValueError("region %r must have positive size" % name)
+        base = self._next_base
+        end = base + size
+        # Next 1 GB boundary at/after the end, plus a 1 GB guard gap.
+        self._next_base = ((end + PAGE_SIZE_1G - 1) // PAGE_SIZE_1G + 1) * PAGE_SIZE_1G
+        spec = RegionSpec(name, size, base, allow_superpages, thp_eligibility)
+        self._specs.append(spec)
+        return RegionHandle(spec, self.rng.derive("region.%s" % name))
+
+    def read(self, vaddr, gap=0, pattern=None):
+        self._records.append(TraceRecord(vaddr, False, gap, pattern))
+
+    def write(self, vaddr, gap=0, pattern=None):
+        self._records.append(TraceRecord(vaddr, True, gap, pattern))
+
+    def __len__(self):
+        return len(self._records)
+
+    def build(self):
+        """Return the finished trace."""
+        return Trace(self.name, self._records, self._specs)
+
+
+class Workload:
+    """Registry entry: metadata + a trace factory."""
+
+    __slots__ = ("name", "bigdata", "description", "_factory")
+
+    def __init__(self, name, bigdata, description, factory):
+        self.name = name
+        self.bigdata = bigdata
+        self.description = description
+        self._factory = factory
+
+    def build(self, length, seed=0):
+        """Generate a trace with roughly *length* records."""
+        return self._factory(length, seed)
+
+    def __repr__(self):
+        kind = "bigdata" if self.bigdata else "small"
+        return "Workload(%s, %s)" % (self.name, kind)

@@ -1,0 +1,174 @@
+"""Big-data workload generators (paper Sec. 5.1).
+
+Each generator reproduces its application's memory-access signature at
+the paper's scale: multi-hundred-gigabyte to terabyte virtual footprints
+accessed sparsely and irregularly, with small hot metadata structures and
+per-workload mixes of sequential, strided, pointer-chasing, and indirect
+(``A[B[i]]``, labelled for IMP) streams.  ``gap`` values encode each
+application's compute intensity between references.
+
+Virtual footprints are huge but *sparse* -- the simulator materializes
+page-table state only for touched pages -- which is exactly how the
+governing ratios (footprint >> TLB reach, leaf page table >> LLC) stay
+paper-faithful (DESIGN.md Sec. 2).
+
+The ``thp_eligibility`` of each cold region is tuned per workload so the
+transparent-hugepage coverage lands in the paper's Figure 10 (right)
+band of roughly 50-80% of the footprint.
+"""
+
+from repro.workloads.base import GB, MB, TB, TraceBuilder
+
+
+def build_xsbench(length, seed=0):
+    """Monte Carlo neutron transport: per lookup, a binary search over
+    hot unionized energy grids, then scattered cross-section reads over a
+    terabyte nuclide table.  The paper's most PTW-bound workload."""
+    builder = TraceBuilder("xsbench", seed)
+    grid = builder.region("energy_grid", 8 * MB)
+    nuclides = builder.region("nuclide_xs", 1 * TB, thp_eligibility=0.55)
+    rng = builder.rng
+    while len(builder) < length:
+        # Binary search over the (cacheable) energy grid.
+        builder.read(grid.zipf(skew=0.7), gap=1)
+        # Cross-section lookups: one per nuclide sampled, scattered.
+        stream = rng.randint(0, 3)
+        for _ in range(7):
+            builder.read(nuclides.clustered(hot_chunks=3584, tail=0.004), gap=1, pattern="xs%d" % stream)
+    return builder.build()
+
+
+def build_spmv(length, seed=0):
+    """Sparse matrix-vector multiply: sequential streams over the matrix
+    values/column indices, indirect gathers from the dense vector."""
+    builder = TraceBuilder("spmv", seed)
+    matrix = builder.region("csr_matrix", 768 * GB, thp_eligibility=0.70)
+    vector = builder.region("x_vector", 512 * GB, thp_eligibility=0.70)
+    result = builder.region("y_vector", 96 * GB, thp_eligibility=0.70)
+    offset = 0
+    row = 0
+    while len(builder) < length:
+        for _ in range(builder.rng.randint(2, 5)):  # non-zeros in this row
+            builder.read(matrix.at(offset), gap=2)          # value (stream)
+            builder.read(matrix.at(offset + 8), gap=0)      # col index (stream)
+            builder.read(vector.clustered(align=8, hot_chunks=2048, tail=0.004), gap=1, pattern="x")  # gather
+            offset += 16
+        builder.write(result.at(row * 8), gap=2)
+        row += 1
+    return builder.build()
+
+
+def build_graph500(length, seed=0):
+    """BFS over a scale-free graph: random adjacency-list bases, short
+    sequential edge bursts, scattered visited-set updates."""
+    builder = TraceBuilder("graph500", seed)
+    frontier = builder.region("frontier", 64 * MB)
+    adjacency = builder.region("adjacency", 896 * GB, thp_eligibility=0.65)
+    visited = builder.region("visited", 320 * GB, thp_eligibility=0.65)
+    rng = builder.rng
+    cursor = 0
+    while len(builder) < length:
+        builder.read(frontier.at(cursor * 8), gap=2)  # pop next vertex
+        cursor += 1
+        edge_base = adjacency.clustered(hot_chunks=2304, tail=0.006)
+        degree = rng.geometric(3)
+        for edge in range(min(degree, 6)):
+            builder.read(edge_base + edge * 8, gap=1, pattern="adj")
+            builder.read(visited.clustered(hot_chunks=1536, tail=0.004), gap=1, pattern="visit")
+    return builder.build()
+
+
+def build_mcf(length, seed=0):
+    """Spec mcf: network-simplex pointer chasing over arc/node arrays --
+    dependent chains no prefetcher predicts."""
+    builder = TraceBuilder("mcf", seed)
+    nodes = builder.region("nodes", 640 * GB, thp_eligibility=0.60)
+    arcs = builder.region("arcs", 384 * GB, thp_eligibility=0.60)
+    hot = builder.region("basket", 4 * MB)
+    rng = builder.rng
+    while len(builder) < length:
+        builder.read(hot.zipf(skew=0.8), gap=3)
+        for _ in range(rng.randint(3, 7)):  # chase a pricing chain
+            builder.read(nodes.clustered(hot_chunks=2048, tail=0.004), gap=2)
+            if rng.random() < 0.4:
+                builder.read(arcs.clustered(hot_chunks=1024, tail=0.004), gap=1)
+        if rng.random() < 0.2:
+            builder.write(nodes.clustered(hot_chunks=2048, tail=0.004), gap=1)
+    return builder.build()
+
+
+def build_canneal(length, seed=0):
+    """Parsec canneal: simulated-annealing element swaps -- pairs of
+    random reads/writes with occasional spatially-adjacent sharing
+    (which is why open-row policies suit it best, Fig. 14)."""
+    builder = TraceBuilder("canneal", seed)
+    netlist = builder.region("netlist", 1 * TB, thp_eligibility=0.75)
+    hot = builder.region("temperature", 1 * MB)
+    rng = builder.rng
+    while len(builder) < length:
+        builder.read(hot.zipf(skew=0.9), gap=4)
+        first = netlist.clustered(hot_chunks=1792, tail=0.004)
+        second = netlist.clustered(hot_chunks=1792, tail=0.004)
+        builder.read(first, gap=2)
+        builder.read(second, gap=1)
+        # Threads often also touch spatially-adjacent netlist elements.
+        for neighbour in range(rng.randint(1, 3)):
+            builder.read(netlist.at(first - netlist.base + (neighbour + 1) * 64), gap=1)
+        builder.write(first, gap=1)
+        builder.write(second, gap=1)
+    return builder.build()
+
+
+def build_lsh(length, seed=0):
+    """Locality-sensitive hashing: hot query vectors, scattered bucket
+    probes across several hash tables."""
+    builder = TraceBuilder("lsh", seed)
+    query = builder.region("query_vectors", 16 * MB)
+    tables = builder.region("hash_tables", 1 * TB, thp_eligibility=0.60)
+    rng = builder.rng
+    while len(builder) < length:
+        for _ in range(3):  # hash computation reads
+            builder.read(query.zipf(skew=0.6), gap=2)
+        for table in range(4):  # probe each table's bucket
+            bucket = tables.clustered(hot_chunks=1280, tail=0.004)
+            builder.read(bucket, gap=1, pattern="t%d" % table)
+            if rng.random() < 0.5:
+                builder.read(tables.at(bucket - tables.base + 64), gap=1, pattern="t%d" % table)
+    return builder.build()
+
+
+def build_sgms(length, seed=0):
+    """Symmetric Gauss-Seidel smoother on an *unstructured* mesh:
+    forward/backward triangular-solve sweeps whose off-diagonal entries
+    gather from irregularly numbered neighbour rows."""
+    builder = TraceBuilder("sgms", seed)
+    matrix = builder.region("lower_upper", 512 * GB, thp_eligibility=0.80)
+    unknowns = builder.region("unknowns", 640 * GB, thp_eligibility=0.80)
+    rng = builder.rng
+    offset = 0
+    while len(builder) < length:
+        builder.read(matrix.at(offset), gap=3)  # row pointer / diagonal
+        # Off-diagonal gathers: neighbours of an unstructured mesh row
+        # are scattered through the unknown vector.
+        for _ in range(rng.randint(2, 4)):
+            builder.read(unknowns.clustered(hot_chunks=1536, tail=0.004), gap=1, pattern="nbr")
+        builder.write(unknowns.clustered(hot_chunks=1536, tail=0.004), gap=2)
+        offset += 64
+    return builder.build()
+
+
+def build_illustris(length, seed=0):
+    """Illustris cosmology: octree walks + particle neighbour gathers --
+    the poorest locality of the suite (closed-row wins, Fig. 14)."""
+    builder = TraceBuilder("illustris", seed)
+    tree = builder.region("octree", 512 * GB, thp_eligibility=0.50)
+    particles = builder.region("particles", 1 * TB, thp_eligibility=0.50)
+    rng = builder.rng
+    while len(builder) < length:
+        for _ in range(rng.randint(3, 6)):  # descend the tree
+            builder.read(tree.clustered(hot_chunks=3072, tail=0.008), gap=1)
+        for _ in range(rng.randint(2, 4)):  # gather neighbour particles
+            builder.read(particles.clustered(hot_chunks=3072, tail=0.008), gap=1)
+        if rng.random() < 0.3:
+            builder.write(particles.clustered(hot_chunks=3072, tail=0.008), gap=1)
+    return builder.build()

@@ -1,0 +1,55 @@
+"""Extension workloads beyond the paper's evaluated suite.
+
+The paper's introduction motivates TEMPO with "big key-value stores" and
+"multi-dimensional data sets"; these generators cover those two classes
+so downstream users have ready-made templates:
+
+* ``kvstore`` -- memcached-style point lookups: hot index descent, then
+  a scattered value read (plus occasional log appends).
+* ``btree`` -- database B+-tree range scans: a root-to-leaf descent with
+  cache-resident upper levels and cold leaves, then a short sequential
+  leaf scan.
+
+Both are TLB-thrashing at the leaf/value level while keeping upper
+levels hot -- the exact profile TEMPO targets.
+"""
+
+from repro.workloads.base import GB, MB, TraceBuilder
+
+
+def build_kvstore(length, seed=0):
+    """Memcached-like: skewed point GETs over a ~1 TB value heap."""
+    builder = TraceBuilder("kvstore", seed)
+    index = builder.region("hash_index", 64 * MB)
+    values = builder.region("value_heap", 1024 * GB, thp_eligibility=0.65)
+    log = builder.region("append_log", 32 * GB)
+    rng = builder.rng
+    log_offset = 0
+    while len(builder) < length:
+        builder.read(index.zipf(skew=0.8), gap=3)    # bucket lookup
+        value = values.clustered(hot_chunks=2048, tail=0.004)
+        builder.read(value, gap=2, pattern="val")    # value header
+        if rng.random() < 0.6:
+            builder.read(values.at(value - values.base + 64), gap=1, pattern="val")
+        if rng.random() < 0.1:                       # SET: append to log
+            builder.write(log.at(log_offset), gap=3)
+            log_offset += 64
+    return builder.build()
+
+
+def build_btree(length, seed=0):
+    """B+-tree range scans: hot internal nodes, cold leaves."""
+    builder = TraceBuilder("btree", seed)
+    internal = builder.region("internal_nodes", 128 * MB)
+    leaves = builder.region("leaf_pages", 768 * GB, thp_eligibility=0.70)
+    rng = builder.rng
+    while len(builder) < length:
+        for _ in range(3):  # root-to-leaf descent through hot internals
+            builder.read(internal.zipf(skew=0.75), gap=2)
+        leaf_base = leaves.clustered(hot_chunks=1792, tail=0.004)
+        scan_lines = rng.randint(2, 5)
+        for line in range(scan_lines):  # short sequential scan inside the leaf
+            builder.read(leaves.at(leaf_base - leaves.base + line * 64), gap=1)
+        if rng.random() < 0.05:
+            builder.write(leaves.at(leaf_base - leaves.base), gap=2)
+    return builder.build()

@@ -1,0 +1,80 @@
+"""Workload registry: name -> generator."""
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.bigdata import (
+    build_canneal,
+    build_graph500,
+    build_illustris,
+    build_lsh,
+    build_mcf,
+    build_sgms,
+    build_spmv,
+    build_xsbench,
+)
+from repro.workloads.extensions import build_btree, build_kvstore
+from repro.workloads.small import (
+    build_small_blocked,
+    build_small_compute,
+    build_small_mining,
+    build_small_pointer,
+    build_small_stream,
+    build_small_zipf,
+)
+
+#: The paper's eight big-memory workloads, in its figure order.
+BIGDATA_WORKLOADS = (
+    Workload("mcf", True, "Spec mcf: network-simplex pointer chasing", build_mcf),
+    Workload("canneal", True, "Parsec canneal: annealing element swaps", build_canneal),
+    Workload("lsh", True, "locality-sensitive hashing probes", build_lsh),
+    Workload("spmv", True, "sparse matrix-vector multiply", build_spmv),
+    Workload("sgms", True, "symmetric Gauss-Seidel smoother", build_sgms),
+    Workload("graph500", True, "BFS over a scale-free graph", build_graph500),
+    Workload("xsbench", True, "Monte Carlo neutron transport", build_xsbench),
+    Workload("illustris", True, "cosmological tree/particle simulation", build_illustris),
+)
+
+#: Small-footprint Spec/Parsec stand-ins (do-no-harm check).
+SMALL_WORKLOADS = (
+    Workload("bzip2_small", False, "sequential compression scans", build_small_stream),
+    Workload("gcc_small", False, "blocked IR traversal", build_small_blocked),
+    Workload("astar_small", False, "skewed small-map search", build_small_zipf),
+    Workload("blackscholes_small", False, "compute-bound option sweeps", build_small_compute),
+    Workload("swaptions_small", False, "small pointer-rich Monte Carlo", build_small_pointer),
+    Workload("freqmine_small", False, "FP-tree mining", build_small_mining),
+)
+
+#: Extensions beyond the paper's suite (key-value store / B+-tree
+#: templates from the introduction's motivation).
+EXTENSION_WORKLOADS = (
+    Workload("kvstore", True, "memcached-style point lookups (extension)", build_kvstore),
+    Workload("btree", True, "B+-tree range scans (extension)", build_btree),
+)
+
+_ALL = {
+    workload.name: workload
+    for workload in BIGDATA_WORKLOADS + SMALL_WORKLOADS + EXTENSION_WORKLOADS
+}
+
+
+def workload_names(bigdata_only=False, include_extensions=False):
+    if bigdata_only:
+        return [workload.name for workload in BIGDATA_WORKLOADS]
+    names = [workload.name for workload in BIGDATA_WORKLOADS + SMALL_WORKLOADS]
+    if include_extensions:
+        names += [workload.name for workload in EXTENSION_WORKLOADS]
+    return names
+
+
+def get_workload(name):
+    workload = _ALL.get(name)
+    if workload is None:
+        raise ConfigError(
+            "unknown workload %r (known: %s)" % (name, ", ".join(sorted(_ALL)))
+        )
+    return workload
+
+
+def make_trace(name, length=20000, seed=0):
+    """Generate a trace for the named workload."""
+    return get_workload(name).build(length, seed)

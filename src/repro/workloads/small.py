@@ -1,0 +1,90 @@
+"""Small-footprint Spec/Parsec stand-ins (paper Fig. 11 right).
+
+These workloads fit comfortably in the TLB reach and cache hierarchy, so
+DRAM page-table accesses are rare; they exist to verify TEMPO's hardware
+does *no harm* when it has nothing to prefetch.  Footprints are tens of
+megabytes with strong temporal/spatial locality and compute-heavy gaps.
+"""
+
+from repro.workloads.base import KB, MB, TraceBuilder
+
+
+def build_small_stream(length, seed=0):
+    """bzip2-like: sequential scans with a hot dictionary."""
+    builder = TraceBuilder("bzip2_small", seed)
+    data = builder.region("buffer", 32 * MB)
+    dictionary = builder.region("dictionary", 512 * KB)
+    offset = 0
+    while len(builder) < length:
+        builder.read(data.at(offset), gap=12)
+        builder.read(dictionary.zipf(skew=0.9), gap=6)
+        builder.write(data.at(offset + 64), gap=8)
+        offset += 64
+    return builder.build()
+
+
+def build_small_blocked(length, seed=0):
+    """gcc-like: blocked reuse over moderate working sets."""
+    builder = TraceBuilder("gcc_small", seed)
+    ir = builder.region("ir_nodes", 48 * MB)
+    symbols = builder.region("symbols", 8 * MB)
+    rng = builder.rng
+    block = 0
+    while len(builder) < length:
+        block_base = (block % 96) * (512 * KB)
+        for _ in range(8):
+            builder.read(ir.at(block_base + rng.randint(0, 8191) * 64), gap=10)
+        builder.read(symbols.zipf(skew=0.8), gap=8)
+        block += 1
+    return builder.build()
+
+
+def build_small_zipf(length, seed=0):
+    """astar-like: skewed graph search over a small map."""
+    builder = TraceBuilder("astar_small", seed)
+    grid = builder.region("map", 24 * MB)
+    open_list = builder.region("open_list", 2 * MB)
+    while len(builder) < length:
+        builder.read(open_list.zipf(skew=0.95), gap=14)
+        builder.read(grid.zipf(skew=0.85), gap=10)
+        builder.write(open_list.zipf(skew=0.95), gap=8)
+    return builder.build()
+
+
+def build_small_compute(length, seed=0):
+    """blackscholes-like: compute-bound sequential option sweeps."""
+    builder = TraceBuilder("blackscholes_small", seed)
+    options = builder.region("options", 16 * MB)
+    offset = 0
+    while len(builder) < length:
+        builder.read(options.at(offset), gap=40)
+        builder.write(options.at(offset + 32), gap=30)
+        offset += 64
+    return builder.build()
+
+
+def build_small_pointer(length, seed=0):
+    """swaptions-like: small pointer-rich working set with heavy math."""
+    builder = TraceBuilder("swaptions_small", seed)
+    paths = builder.region("paths", 20 * MB)
+    rng = builder.rng
+    while len(builder) < length:
+        for _ in range(3):
+            builder.read(paths.zipf(skew=0.8), gap=25)
+        if rng.random() < 0.5:
+            builder.write(paths.zipf(skew=0.8), gap=15)
+    return builder.build()
+
+
+def build_small_mining(length, seed=0):
+    """freqmine-like: FP-tree mining with good temporal locality."""
+    builder = TraceBuilder("freqmine_small", seed)
+    tree = builder.region("fp_tree", 40 * MB)
+    counts = builder.region("counts", 4 * MB)
+    rng = builder.rng
+    while len(builder) < length:
+        node = tree.zipf(skew=0.9)
+        for hop in range(rng.randint(2, 4)):
+            builder.read(node + hop * 64, gap=9)
+        builder.write(counts.zipf(skew=0.95), gap=7)
+    return builder.build()

@@ -1,0 +1,36 @@
+"""Shared fixtures for the TEMPO reproduction test suite."""
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.common.rng import DeterministicRng
+from repro.vm.frame_allocator import FrameAllocator
+
+
+@pytest.fixture
+def config():
+    """The default (Figure-9) machine, validated."""
+    return default_system_config()
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRng(1234, "tests")
+
+
+@pytest.fixture
+def allocator(rng):
+    """A 64 GB physical memory (lazy, so cheap)."""
+    return FrameAllocator(64 * 1024 * 1024 * 1024, rng)
+
+
+@pytest.fixture
+def small_trace():
+    """A short single-region trace touching a few hundred pages."""
+    from repro.workloads.base import MB, TraceBuilder
+
+    builder = TraceBuilder("fixture", seed=7)
+    region = builder.region("data", 64 * MB)
+    for index in range(600):
+        builder.read(region.at(index * 4096 + 64), gap=2)
+    return builder.build()

@@ -1,0 +1,99 @@
+"""Smoke tests for the ablation drivers (tiny traces)."""
+
+import pytest
+
+from repro.analysis import ablations
+
+
+def test_prefetch_destinations_structure():
+    result = ablations.prefetch_destinations(workloads=("xsbench",), length=1500)
+    row = result["rows"][0]
+    assert row["workload"] == "xsbench"
+    assert row["row_buffer_plus_llc"] >= row["row_buffer_only"] - 0.03
+
+
+def test_txq_grouping_structure():
+    result = ablations.txq_grouping(workloads=("mcf",), length=1200)
+    row = result["rows"][0]
+    assert "with_grouping" in row and "without_grouping" in row
+
+
+def test_prefetch_row_latency_sweep():
+    result = ablations.prefetch_row_latency(
+        workload="graph500", length=1500, latencies=(60, 140)
+    )
+    rows = {row["prefetch_row_cycles"]: row for row in result["rows"]}
+    assert rows[60]["llc_fraction"] > rows[140]["llc_fraction"]
+    for row in rows.values():
+        total = row["llc_fraction"] + row["row_buffer_fraction"]
+        assert total <= 1.0 + 1e-9
+
+
+def test_scheduler_sensitivity_covers_all():
+    result = ablations.scheduler_sensitivity(
+        workloads=("xsbench",), length=1200, schedulers=("fcfs", "atlas")
+    )
+    assert {row["scheduler"] for row in result["rows"]} == {"fcfs", "atlas"}
+
+
+def test_extension_workloads_registered():
+    from repro.workloads.registry import get_workload, workload_names
+
+    assert "kvstore" in workload_names(include_extensions=True)
+    assert "btree" in workload_names(include_extensions=True)
+    assert "kvstore" not in workload_names()
+    for name in ("kvstore", "btree"):
+        trace = get_workload(name).build(800, seed=1)
+        trace.validate()
+        assert trace.footprint_bytes > 256 * 1024**3
+
+
+def test_extension_workloads_benefit_from_tempo():
+    from repro.sim.runner import run_baseline_and_tempo, speedup_fraction
+
+    baseline, tempo = run_baseline_and_tempo("kvstore", length=2500, seed=0)
+    assert speedup_fraction(baseline, tempo) > 0.03
+
+
+def test_report_generation_small(tmp_path):
+    from repro.analysis import experiments
+    from repro.analysis.report import generate_report, write_report
+
+    drivers = ((experiments.fig01_runtime_breakdown,
+                {"workloads": ("xsbench",), "length": 800}),)
+    report = generate_report(drivers=drivers)
+    assert "# TEMPO reproduction report" in report
+    assert "fig01" in report
+    assert "xsbench" in report
+    assert "|" in report  # markdown table present
+
+
+def test_report_markdown_tables():
+    from repro.analysis.report import _markdown_table
+
+    table = _markdown_table([{"a": 1, "b": 0.25}])
+    assert table.splitlines()[0] == "| a | b |"
+    assert "0.250" in table
+    assert _markdown_table([]) == "(no rows)\n"
+
+
+def test_write_report_to_disk(tmp_path):
+    from repro.analysis import experiments
+    from repro.analysis.report import FIGURE_DRIVERS, generate_report
+
+    # Shrink to a single fast driver via the drivers override.
+    drivers = ((experiments.fig01_runtime_breakdown,
+                {"workloads": ("mcf",), "length": 600}),)
+    report = generate_report(drivers=drivers, progress=lambda line: None)
+    assert "fig01" in report
+    assert len(FIGURE_DRIVERS) == 11  # one per evaluation figure
+
+
+def test_fig15_reports_mechanism_metric():
+    from repro.analysis import experiments
+
+    result = experiments.fig15_wait_cycles(
+        workloads=("xsbench",), length=1500, waits=(0, 10)
+    )
+    for row in result["rows"]:
+        assert 0.0 <= row["pt_row_hit_rate"] <= 1.0

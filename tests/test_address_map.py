@@ -1,0 +1,69 @@
+"""Tests for the DRAM address interleave."""
+
+import pytest
+
+from repro.common.config import DramConfig
+from repro.dram.address_map import AddressMap
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(DramConfig())
+
+
+def test_decode_fields_in_range(amap):
+    config = amap.config
+    for paddr in (0, 0x1234_5678, 0xFFFF_FFFF, 0xAB_CDEF_0123):
+        location = amap.decode(paddr)
+        assert 0 <= location.channel < config.channels
+        assert 0 <= location.bank < config.banks_per_channel
+        assert 0 <= location.row_offset < config.row_bytes
+
+
+def test_same_8k_chunk_same_row(amap):
+    """Figure 8's geometry: two adjacent 4 KB pages share one 8 KB row."""
+    base = 0x40000000
+    assert amap.same_row(base, base + 4096)
+    assert amap.same_row(base, base + 8191)
+    assert not amap.same_row(base, base + 8192)
+
+
+def test_adjacent_ptes_same_row(amap):
+    """1024 consecutive 8-byte PTEs share a row."""
+    pte_base = 0x40000
+    assert amap.same_row(pte_base, pte_base + 1016)
+
+
+def test_bank_index_consistent_with_decode(amap):
+    for paddr in (0x0, 0x2000, 0x123456, 0xDEADBEEF):
+        location = amap.decode(paddr)
+        flat = location.channel * amap.config.banks_per_channel + location.bank
+        assert amap.bank_index(paddr) == flat
+
+
+def test_consecutive_chunks_rotate_channels(amap):
+    channels = {amap.decode(i * 8192).channel for i in range(4)}
+    assert len(channels) == amap.config.channels
+
+
+def test_row_of_stable_within_row(amap):
+    base = 0x80000000
+    rows = {amap.row_of(base + offset) for offset in range(0, 8192, 512)}
+    assert len(rows) == 1
+
+
+def test_row_base_paddr(amap):
+    assert amap.row_base_paddr(0x40001234) == 0x40000000
+    assert amap.row_base_paddr(0x40000000) == 0x40000000
+
+
+def test_total_banks(amap):
+    assert amap.total_banks == amap.config.channels * amap.config.banks_per_channel
+
+
+def test_dram_location_equality_and_hash(amap):
+    a = amap.decode(0x12345)
+    b = amap.decode(0x12345)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != amap.decode(0x99999999)

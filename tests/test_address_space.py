@@ -1,0 +1,95 @@
+"""Tests for the demand-paged address space."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.errors import MappingError, TranslationFault
+from repro.vm.address_space import REGION_SPACE_BASE, AddressSpace
+from repro.vm.superpage import BasePagePolicy, ThpPolicy
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def space(allocator):
+    return AddressSpace(allocator, ThpPolicy(allocator))
+
+
+def test_regions_start_at_region_space_base(space):
+    region = space.allocate_region(64 * MB, "first")
+    assert region.base == REGION_SPACE_BASE
+
+
+def test_regions_are_gigabyte_aligned_and_disjoint(space):
+    sizes = [64 * MB, 3 * 1024 * MB, 5 * MB, 1024 * MB]
+    regions = [space.allocate_region(size, "r%d" % i) for i, size in enumerate(sizes)]
+    for region in regions:
+        assert region.base % PAGE_SIZE_1G == 0
+    for earlier, later in zip(regions, regions[1:]):
+        assert later.base >= earlier.end + PAGE_SIZE_1G  # guard gap
+
+
+def test_region_of_lookup(space):
+    first = space.allocate_region(64 * MB, "a")
+    second = space.allocate_region(64 * MB, "b")
+    assert space.region_of(first.base + 100) is first
+    assert space.region_of(second.end - 1) is second
+    assert space.region_of(first.end + 5) is None
+    assert space.region_of(0) is None
+
+
+def test_rejects_empty_region(space):
+    with pytest.raises(MappingError):
+        space.allocate_region(0, "empty")
+
+
+def test_ensure_mapped_faults_once(space):
+    region = space.allocate_region(64 * MB, "data")
+    frame, size, faulted = space.ensure_mapped(region.base + 12345)
+    assert faulted
+    frame2, size2, faulted2 = space.ensure_mapped(region.base + 12345)
+    assert (frame, size) == (frame2, size2)
+    assert not faulted2
+    assert space.stats.counter("minor_faults").value == 1
+
+
+def test_fault_outside_regions_raises(space):
+    space.allocate_region(64 * MB, "data")
+    with pytest.raises(TranslationFault):
+        space.handle_fault(0x1000)
+
+
+def test_thp_backs_interior_with_2m(space):
+    region = space.allocate_region(64 * MB, "data")
+    _, size, _ = space.ensure_mapped(region.base + 10 * PAGE_SIZE_2M + 17)
+    assert size == PAGE_SIZE_2M
+
+
+def test_base_policy_space_maps_4k(allocator):
+    space = AddressSpace(allocator, BasePagePolicy(allocator))
+    region = space.allocate_region(64 * MB, "data")
+    _, size, _ = space.ensure_mapped(region.base + 12345)
+    assert size == PAGE_SIZE_4K
+    assert space.superpage_fraction() == 0.0
+
+
+def test_superpage_fraction_tracks_policy(space):
+    region = space.allocate_region(64 * MB, "data")
+    space.ensure_mapped(region.base + PAGE_SIZE_2M + 7)
+    assert space.superpage_fraction() == 1.0
+
+
+def test_mapped_bytes_delegates(space):
+    region = space.allocate_region(64 * MB, "data")
+    space.ensure_mapped(region.base)
+    assert space.mapped_bytes() == PAGE_SIZE_2M
+
+
+def test_two_spaces_share_allocator_without_frame_overlap(allocator):
+    space_a = AddressSpace(allocator, BasePagePolicy(allocator))
+    space_b = AddressSpace(allocator, BasePagePolicy(allocator))
+    region_a = space_a.allocate_region(64 * MB, "a")
+    region_b = space_b.allocate_region(64 * MB, "b")
+    frames_a = {space_a.ensure_mapped(region_a.base + i * 4096)[0] for i in range(50)}
+    frames_b = {space_b.ensure_mapped(region_b.base + i * 4096)[0] for i in range(50)}
+    assert not frames_a & frames_b

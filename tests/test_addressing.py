@@ -1,0 +1,129 @@
+"""Unit tests for the x86-64 address arithmetic."""
+
+import pytest
+
+from repro.common import addressing
+from repro.common.constants import (
+    CACHE_LINE_BYTES,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PT_ENTRIES,
+    PTE_BYTES,
+)
+from repro.common.errors import ConfigError
+
+
+def test_canonical_masks_to_48_bits():
+    assert addressing.canonical(1 << 60) == 0
+    assert addressing.canonical((1 << 48) - 1) == (1 << 48) - 1
+
+
+def test_page_base_and_offset_4k():
+    vaddr = 0x1234_5678
+    assert addressing.page_base(vaddr) == 0x1234_5000
+    assert addressing.page_offset(vaddr) == 0x678
+    assert addressing.page_base(vaddr) + addressing.page_offset(vaddr) == vaddr
+
+
+@pytest.mark.parametrize("page_size", [PAGE_SIZE_4K, PAGE_SIZE_2M, PAGE_SIZE_1G])
+def test_page_number_roundtrip(page_size):
+    vaddr = 0x7FFF_DEAD_B000
+    number = addressing.page_number(vaddr, page_size)
+    assert addressing.page_address(number, page_size) == addressing.page_base(
+        vaddr, page_size
+    )
+
+
+def test_radix_indices_cover_disjoint_bits():
+    # Set exactly one radix index at a time and check the others are 0.
+    for level in (1, 2, 3, 4):
+        shift = 12 + 9 * (level - 1)
+        vaddr = 0x1AB << shift
+        indices = {lvl: addressing.radix_index(vaddr, lvl) for lvl in (1, 2, 3, 4)}
+        assert indices[level] == 0x1AB
+        for other, value in indices.items():
+            if other != level:
+                assert value == 0
+
+
+def test_radix_index_rejects_bad_level():
+    with pytest.raises(ConfigError):
+        addressing.radix_index(0x1000, 5)
+    with pytest.raises(ConfigError):
+        addressing.radix_index(0x1000, 0)
+
+
+def test_radix_indices_tuple_order_is_l4_to_l1():
+    vaddr = 0xFFFF_FFFF_F000 & ((1 << 48) - 1)
+    assert addressing.radix_indices(vaddr) == tuple(
+        addressing.radix_index(vaddr, level) for level in (4, 3, 2, 1)
+    )
+
+
+def test_pte_address_concatenation():
+    base = 0x40000
+    assert addressing.pte_address(base, 0) == base
+    assert addressing.pte_address(base, 5) == base + 5 * PTE_BYTES
+    assert addressing.pte_address(base, PT_ENTRIES - 1) == base + (PT_ENTRIES - 1) * 8
+
+
+def test_pte_address_rejects_out_of_range_index():
+    with pytest.raises(ConfigError):
+        addressing.pte_address(0x40000, PT_ENTRIES)
+    with pytest.raises(ConfigError):
+        addressing.pte_address(0x40000, -1)
+
+
+def test_cache_line_helpers():
+    addr = 0x1_0047
+    assert addressing.cache_line_base(addr) == 0x1_0040
+    assert addressing.cache_line_id(addr) == 0x1_0040 // CACHE_LINE_BYTES
+
+
+def test_line_index_in_page_4k_is_6_bits():
+    # 64 lines per 4 KB page: the quantity TEMPO's walker appends.
+    assert addressing.line_index_in_page(0x5000) == 0
+    assert addressing.line_index_in_page(0x5040) == 1
+    assert addressing.line_index_in_page(0x5FFF) == 63
+
+
+def test_line_index_in_page_2m():
+    vaddr = PAGE_SIZE_2M + 3 * CACHE_LINE_BYTES
+    assert addressing.line_index_in_page(vaddr, PAGE_SIZE_2M) == 3
+    # Last line of a 2 MB page.
+    vaddr = 2 * PAGE_SIZE_2M - 1
+    assert addressing.line_index_in_page(vaddr, PAGE_SIZE_2M) == PAGE_SIZE_2M // 64 - 1
+
+
+def test_replay_address_reconstruction():
+    """The prefetch engine's concatenation must invert the walker's
+    line-index extraction (the paper's 0x2001 example)."""
+    frame = 0x2000  # P2 for 4 KB pages
+    vaddr = 0x2001  # cache line 0 of virtual page 2
+    line = addressing.line_index_in_page(vaddr)
+    assert addressing.replay_address(frame, line) == 0x2000
+    vaddr = 0x2041  # cache line 1
+    line = addressing.line_index_in_page(vaddr)
+    assert addressing.replay_address(frame, line) == 0x2040
+
+
+def test_replay_address_matches_translate_line():
+    frame = 0xABC00000
+    for offset in (0, 64, 4032, 4095):
+        vaddr = 0x7000 + offset
+        line = addressing.line_index_in_page(vaddr)
+        expected_line_base = addressing.cache_line_base(
+            addressing.translate(vaddr, frame)
+        )
+        assert addressing.replay_address(frame, line) == expected_line_base
+
+
+def test_translate_combines_frame_and_offset():
+    assert addressing.translate(0x1234_5678, 0xFF00_0000) == 0xFF00_0678
+
+
+def test_split_vaddr():
+    vpn, offset = addressing.split_vaddr(0x12345678)
+    assert vpn == 0x12345
+    assert offset == 0x678

@@ -1,0 +1,139 @@
+"""Tests for the single-level set-associative cache."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.cache.cache import Cache
+
+
+def _cache(size=4096, assoc=2, replacement="lru"):
+    return Cache(CacheConfig(size_bytes=size, assoc=assoc, replacement=replacement))
+
+
+def test_miss_then_fill_then_hit():
+    cache = _cache()
+    assert not cache.lookup(0x1000)
+    cache.fill(0x1000)
+    assert cache.lookup(0x1040) is False  # different line
+    assert cache.lookup(0x1000 + 63)  # same line
+
+
+def test_fill_returns_victim_on_conflict():
+    cache = _cache(size=128, assoc=2)  # 1 set, 2 ways
+    cache.fill(0x0)
+    cache.fill(0x40)
+    victim = cache.fill(0x80)
+    assert victim is not None
+    assert victim.line_id == 0
+    assert not victim.dirty
+
+
+def test_dirty_victim_propagates_write_state():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0, is_write=True)
+    cache.fill(0x40)
+    victim = cache.fill(0x80)
+    assert victim.dirty
+    assert victim.paddr == 0x0
+
+
+def test_write_hit_marks_dirty():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0)
+    cache.lookup(0x0, is_write=True)
+    cache.fill(0x40)
+    victim = cache.fill(0x80)
+    assert victim.dirty
+
+
+def test_lru_order_updated_by_hits():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0)
+    cache.fill(0x40)
+    cache.lookup(0x0)  # refresh line 0 -> line 0x40 is LRU
+    victim = cache.fill(0x80)
+    assert victim.paddr == 0x40
+
+
+def test_refill_existing_line_is_not_eviction():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0)
+    assert cache.fill(0x0) is None
+    assert cache.stats.counter("evictions").value == 0
+
+
+def test_refill_preserves_dirtiness():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0, is_write=True)
+    cache.fill(0x0)  # clean refill must not launder the dirty bit
+    cache.fill(0x40)
+    victim = cache.fill(0x80)
+    assert victim.dirty
+
+
+def test_invalidate():
+    cache = _cache()
+    cache.fill(0x1000, is_write=True)
+    victim = cache.invalidate(0x1000)
+    assert victim.dirty
+    assert not cache.lookup(0x1000)
+    assert cache.invalidate(0x1000) is None
+
+
+def test_flush_returns_dirty_lines_only():
+    cache = _cache()
+    cache.fill(0x1000, is_write=True)
+    cache.fill(0x2000)
+    dirty = cache.flush()
+    assert [line.paddr for line in dirty] == [0x1000]
+    assert cache.occupancy == 0
+
+
+def test_occupancy_bounded():
+    cache = _cache(size=1024, assoc=4)
+    for i in range(200):
+        cache.fill(i * 64)
+    assert cache.occupancy <= 16
+
+
+def test_random_replacement_is_deterministic():
+    a = Cache(CacheConfig(size_bytes=128, assoc=2, replacement="random"), "r1")
+    b = Cache(CacheConfig(size_bytes=128, assoc=2, replacement="random"), "r1")
+    victims_a = []
+    victims_b = []
+    for i in range(10):
+        victims_a.append(a.fill(i * 64))
+        victims_b.append(b.fill(i * 64))
+    assert [v.line_id if v else None for v in victims_a] == [
+        v.line_id if v else None for v in victims_b
+    ]
+
+
+def test_contains_does_not_touch_lru():
+    cache = _cache(size=128, assoc=2)
+    cache.fill(0x0)
+    cache.fill(0x40)
+    cache.contains(0x0)  # must NOT refresh
+    victim = cache.fill(0x80)
+    assert victim.paddr == 0x0
+
+
+def test_prefetch_fill_counted_separately():
+    cache = _cache()
+    cache.fill(0x1000)
+    cache.fill(0x2000, is_prefetch=True)
+    assert cache.stats.counter("fills").value == 1
+    assert cache.stats.counter("prefetch_fills").value == 1
+
+
+def test_hit_rate():
+    cache = _cache()
+    cache.fill(0x1000)
+    cache.lookup(0x1000)
+    cache.lookup(0x9000)
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_rejects_non_cacheconfig():
+    with pytest.raises(TypeError):
+        Cache({"size": 1024})

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_shows_all_workloads():
+    code, output = run_cli("list")
+    assert code == 0
+    for name in ("xsbench", "graph500", "illustris", "bzip2_small"):
+        assert name in output
+
+
+def test_run_prints_breakdown():
+    code, output = run_cli("run", "mcf", "--length", "800")
+    assert code == 0
+    assert "DRAM-PTW runtime" in output
+    assert "replay service" in output  # TEMPO on by default
+
+
+def test_run_no_tempo_has_no_replay_service():
+    code, output = run_cli("run", "mcf", "--length", "800", "--no-tempo")
+    assert code == 0
+    assert "replay service" not in output
+
+
+def test_compare_reports_improvements():
+    code, output = run_cli("compare", "xsbench", "--length", "1500")
+    assert code == 0
+    assert "performance:" in output
+    assert "energy:" in output
+
+
+def test_row_policy_and_scheduler_flags():
+    code, output = run_cli(
+        "run", "mcf", "--length", "600",
+        "--row-policy", "closed", "--scheduler", "atlas",
+    )
+    assert code == 0
+
+
+def test_trace_generate_and_replay(tmp_path):
+    path = str(tmp_path / "t.trace")
+    code, output = run_cli("trace", "lsh", "-o", path, "--length", "500")
+    assert code == 0
+    assert "wrote" in output
+    code, output = run_cli("run", "--trace", path, "--length", "500")
+    assert code == 0
+    assert "lsh" in output
+
+
+def test_experiment_driver_runs():
+    code, output = run_cli(
+        "experiment", "fig01", "--length", "800", "--workloads", "xsbench"
+    )
+    assert code == 0
+    assert "fig01" in output
+    assert "xsbench" in output
+
+
+def test_experiment_unknown_figure():
+    code, output = run_cli("experiment", "fig99")
+    assert code == 2
+    assert "unknown figure" in output
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

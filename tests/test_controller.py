@@ -1,0 +1,182 @@
+"""Tests for the memory controller (queues, TEMPO hooks, timing)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.core.prefetch_engine import PrefetchEngine
+from repro.dram.bank import OUTCOME_HIT
+from repro.dram.energy import EnergyModel
+from repro.sched.controller import MemoryController
+from repro.sched.request import (
+    KIND_DEMAND,
+    KIND_PT,
+    KIND_TEMPO_PREFETCH,
+    MemoryRequest,
+)
+from repro.vm.page_table import PageTableEntry
+
+
+def _controller(tempo=True, **config_overrides):
+    config = default_system_config().with_tempo(tempo)
+    if config_overrides:
+        config = config.copy_with(**config_overrides)
+    engine = PrefetchEngine(config.tempo) if tempo else None
+    energy = EnergyModel(config.energy, tempo_enabled=tempo)
+    return MemoryController(config, energy, engine), config
+
+
+def _tagged_pt(paddr=0x40000, frame=0xABC000, line=0, cpu=0):
+    pte = PageTableEntry(present=True, is_leaf=True, frame_paddr=frame, page_size=4096)
+    return MemoryRequest(
+        paddr, KIND_PT, cpu=cpu, tempo_tagged=True, pte=pte,
+        replay_line_index=line, pt_leaf=True,
+    )
+
+
+def test_demand_submit_and_wait_completes():
+    controller, config = _controller(tempo=False)
+    request = MemoryRequest(0x123456, KIND_DEMAND, enqueue_time=100)
+    finish = controller.submit_and_wait(request, 100)
+    assert finish == request.finish_time
+    expected_min = 100 + config.dram.row_miss_cycles + config.dram.controller_overhead_cycles
+    assert finish >= expected_min
+
+
+def test_requests_to_same_bank_serialize():
+    controller, config = _controller(tempo=False)
+    first = MemoryRequest(0x0, KIND_DEMAND)
+    second = MemoryRequest(0x100, KIND_DEMAND)  # same row, same bank
+    end1 = controller.submit_and_wait(first, 0)
+    controller.submit_and_wait(second, 0)
+    assert second.start_time >= first.start_time
+    assert second.outcome == OUTCOME_HIT  # open row
+
+
+def test_tagged_pt_triggers_prefetch():
+    controller, config = _controller(tempo=True)
+    pt = _tagged_pt(frame=0xABC000, line=5)
+    controller.submit_and_wait(pt, 0)
+    assert controller.stats.counter("tempo_prefetches_enqueued").value == 1
+    # Drain and collect the outcome.
+    controller.drain_all()
+    outcome = controller.take_prefetch_outcome(pt.req_id)
+    assert outcome is not None and not outcome.dropped
+    assert outcome.paddr == 0xABC000 + 5 * 64
+    assert outcome.row_ready_at is not None
+    assert outcome.llc_ready_at > outcome.row_ready_at
+
+
+def test_prefetch_respects_wait_window():
+    controller, config = _controller(tempo=True)
+    pt = _tagged_pt()
+    pt_finish = controller.submit_and_wait(pt, 0)
+    controller.drain_all()
+    outcome = controller.take_prefetch_outcome(pt.req_id)
+    pt_end = pt_finish - config.dram.controller_overhead_cycles
+    # The prefetch could not have started before end + wait_cycles.
+    earliest_row_ready = pt_end + config.tempo.wait_cycles + 1
+    assert outcome.row_ready_at >= earliest_row_ready
+
+
+def test_prefetch_opens_target_row():
+    controller, _ = _controller(tempo=True)
+    pt = _tagged_pt(frame=0xABC000, line=5)
+    controller.submit_and_wait(pt, 0)
+    controller.drain_all()
+    outcome = controller.take_prefetch_outcome(pt.req_id)
+    assert controller.device.row_open(outcome.paddr, outcome.row_ready_at)
+
+
+def test_untagged_pt_triggers_nothing():
+    controller, _ = _controller(tempo=True)
+    request = MemoryRequest(0x40000, KIND_PT, pt_leaf=True)
+    controller.submit_and_wait(request, 0)
+    assert controller.stats.counter("tempo_prefetches_enqueued").value == 0
+
+
+def test_no_engine_no_prefetch():
+    controller, _ = _controller(tempo=False)
+    pt = _tagged_pt()
+    controller.submit_and_wait(pt, 0)
+    controller.drain_all()
+    assert controller.take_prefetch_outcome(pt.req_id) is None
+
+
+def test_cancel_prefetch_removes_queued():
+    controller, _ = _controller(tempo=True)
+    pt = _tagged_pt()
+    controller.submit_and_wait(pt, 0)
+    # The prefetch is queued (not_before in the future): cancel it.
+    assert controller.cancel_prefetch(pt.req_id)
+    controller.drain_all()
+    assert controller.take_prefetch_outcome(pt.req_id) is None
+    assert not controller.cancel_prefetch(pt.req_id)
+
+
+def test_advance_to_services_due_prefetch():
+    controller, config = _controller(tempo=True)
+    pt = _tagged_pt()
+    finish = controller.submit_and_wait(pt, 0)
+    controller.advance_to(finish + 500)
+    outcome = controller.take_prefetch_outcome(pt.req_id)
+    assert outcome is not None
+
+
+def test_txq_overflow_drops_prefetches():
+    controller, config = _controller(
+        tempo=True, dram=replace(default_system_config().dram, txq_capacity=4)
+    )
+    # Stuff the queue with future-dated prefetches to one channel.
+    base = 0x0
+    for index in range(6):
+        request = MemoryRequest(
+            base, KIND_TEMPO_PREFETCH, not_before=10**9, origin_pt_id=1000 + index
+        )
+        controller.submit_async(request, 0)
+    assert controller.stats.counter("prefetch_dropped_txq_full").value >= 2
+    # Dropped prefetches record a dropped outcome for their walk.
+    dropped = [
+        controller.take_prefetch_outcome(1000 + index) for index in range(6)
+    ]
+    assert any(outcome is not None and outcome.dropped for outcome in dropped)
+
+
+def test_writebacks_yield_to_demands():
+    controller, _ = _controller(tempo=False)
+    controller.submit_writeback(0x9000, cpu=0, now=0)
+    demand = MemoryRequest(0x0, KIND_DEMAND, enqueue_time=5)
+    controller.submit_and_wait(demand, 5)
+    # The writeback is still pending; the demand went first.
+    assert controller.pending_requests() == 1
+    controller.drain_all()
+    assert controller.pending_requests() == 0
+
+
+def test_grace_period_reserves_bank():
+    controller, config = _controller(tempo=True)
+    pt = _tagged_pt(cpu=3)
+    controller.submit_and_wait(pt, 0)
+    controller.drain_all()
+    outcome = controller.take_prefetch_outcome(pt.req_id)
+    bank = controller.device.bank_for(outcome.paddr)
+    assert bank.reserved_cpu == 3
+    assert bank.reserved_until > outcome.row_ready_at
+
+
+def test_energy_recorded_per_access():
+    controller, _ = _controller(tempo=False)
+    before = controller.energy.stats.counter("dram_accesses").value
+    controller.submit_and_wait(MemoryRequest(0x123, KIND_DEMAND), 0)
+    assert controller.energy.stats.counter("dram_accesses").value == before + 1
+
+
+def test_channels_progress_independently():
+    controller, config = _controller(tempo=False)
+    # 0x0 and 0x2000 land on different channels with the default map.
+    first = MemoryRequest(0x0, KIND_DEMAND)
+    second = MemoryRequest(0x2000, KIND_DEMAND)
+    controller.submit_and_wait(first, 0)
+    controller.submit_and_wait(second, 0)
+    assert second.start_time == 0  # not serialized behind channel 0

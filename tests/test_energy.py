@@ -1,0 +1,75 @@
+"""Tests for the analytical energy model."""
+
+import pytest
+
+from repro.common.config import EnergyConfig
+from repro.dram.bank import OUTCOME_CONFLICT, OUTCOME_HIT, OUTCOME_MISS
+from repro.dram.energy import EnergyModel
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(EnergyConfig())
+
+
+def test_outcome_energy_ordering(model):
+    config = model.config
+    costs = {}
+    for outcome in (OUTCOME_HIT, OUTCOME_MISS, OUTCOME_CONFLICT):
+        fresh = EnergyModel(config)
+        fresh.record_dram_access(outcome)
+        costs[outcome] = fresh.dynamic_energy
+    assert costs[OUTCOME_HIT] < costs[OUTCOME_MISS] < costs[OUTCOME_CONFLICT]
+
+
+def test_unknown_outcome_raises(model):
+    with pytest.raises(ValueError):
+        model.record_dram_access("explode")
+
+
+def test_background_scales_with_cycles(model):
+    assert model.background_energy(2000) == pytest.approx(2 * model.background_energy(1000))
+
+
+def test_tempo_static_overhead_charged():
+    config = EnergyConfig()
+    base = EnergyModel(config, tempo_enabled=False)
+    tempo = EnergyModel(config, tempo_enabled=True)
+    assert tempo.background_energy(10_000) > base.background_energy(10_000)
+    ratio = tempo.background_energy(10_000) / base.background_energy(10_000)
+    assert ratio == pytest.approx(1.0 + config.tempo_static_overhead)
+
+
+def test_total_is_background_plus_dynamic(model):
+    model.record_dram_access(OUTCOME_MISS)
+    model.record_llc_fill()
+    assert model.total_energy(5000) == pytest.approx(
+        model.background_energy(5000) + model.dynamic_energy
+    )
+
+
+def test_prefetch_accesses_counted(model):
+    model.record_dram_access(OUTCOME_MISS, is_prefetch=True)
+    model.record_dram_access(OUTCOME_MISS)
+    assert model.stats.counter("prefetch_accesses").value == 1
+    assert model.stats.counter("dram_accesses").value == 2
+
+
+def test_reset(model):
+    model.record_dram_access(OUTCOME_MISS)
+    model.reset()
+    assert model.dynamic_energy == 0.0
+    assert model.stats.counter("dram_accesses").value == 0
+
+
+def test_shorter_runtime_saves_energy_despite_prefetches():
+    """The paper's energy argument: TEMPO's extra activations are paid
+    back by the static energy of the cycles it removes."""
+    config = EnergyConfig()
+    baseline = EnergyModel(config, tempo_enabled=False)
+    tempo = EnergyModel(config, tempo_enabled=True)
+    for _ in range(100):
+        baseline.record_dram_access(OUTCOME_CONFLICT)     # slow replays
+        tempo.record_dram_access(OUTCOME_MISS, is_prefetch=True)  # prefetch
+        tempo.record_dram_access(OUTCOME_HIT)             # fast replay
+    assert tempo.total_energy(80_000) < baseline.total_energy(100_000)

@@ -1,0 +1,103 @@
+"""Invariants of the event-driven multicore driver."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.sim.system import SystemSimulator
+from repro.workloads.base import MB, TraceBuilder
+from repro.workloads.registry import make_trace
+
+
+def _trace(name, seed, count=500, gap=1):
+    builder = TraceBuilder(name, seed=seed)
+    region = builder.region("data", 16 * 1024 * MB, thp_eligibility=0.5)
+    for _ in range(count):
+        builder.read(region.clustered(hot_chunks=256, tail=0.01), gap=gap)
+    return builder.build()
+
+
+def test_all_cores_complete_all_records(config):
+    traces = [_trace("a", 1), _trace("b", 2), _trace("c", 3)]
+    result = SystemSimulator(config, traces).run(warmup=0)
+    assert [core.references for core in result.cores] == [500, 500, 500]
+
+
+def test_no_requests_left_pending_after_run(config):
+    traces = [_trace("a", 1), _trace("b", 2)]
+    simulator = SystemSimulator(config, traces)
+    simulator.run()  # run() drains leftover prefetches/writebacks
+    assert simulator.controller.pending_requests() == 0
+
+
+def test_asymmetric_trace_lengths(config):
+    short = _trace("short", 1, count=120)
+    long = _trace("long", 2, count=900)
+    result = SystemSimulator(config, [short, long]).run(warmup=50)
+    by_name = {core.workload_name: core for core in result.cores}
+    assert by_name["short"].references == 70
+    assert by_name["long"].references == 850
+
+
+def test_event_driven_respects_max_records(config):
+    traces = [_trace("a", 1), _trace("b", 2)]
+    result = SystemSimulator(config, traces).run(max_records=200, warmup=40)
+    assert all(core.references == 160 for core in result.cores)
+
+
+def test_shared_bank_contention_slows_cores(config):
+    """Two cores hammering the same physical pages must interleave at the
+    banks: shared runtime strictly exceeds the alone runtime."""
+    traces = [_trace("a", 7), _trace("b", 7)]  # same seed: same addresses
+    alone = SystemSimulator(config, [_trace("a", 7)]).run().total_cycles
+    shared = SystemSimulator(config, traces).run().total_cycles
+    assert shared > alone
+
+
+def test_multicore_with_imp_and_tempo(config):
+    imp_config = config.copy_with(imp=replace(config.imp, enabled=True))
+    builder_traces = []
+    for name, seed in (("a", 1), ("b", 2)):
+        builder = TraceBuilder(name, seed=seed)
+        region = builder.region("data", 16 * 1024 * MB, thp_eligibility=0.5)
+        for _ in range(400):
+            builder.read(region.clustered(hot_chunks=256, tail=0.0), gap=1, pattern="x")
+        builder_traces.append(builder.build())
+    simulator = SystemSimulator(imp_config, builder_traces)
+    result = simulator.run()
+    assert all(core.references > 0 for core in result.cores)
+
+
+def test_multicore_bliss_tempo_subrows_combo(config):
+    subrows = replace(config.dram.subrows, enabled=True, dedicated_prefetch_subrows=2)
+    combo = config.copy_with(
+        dram=replace(config.dram, subrows=subrows),
+        scheduler=replace(config.scheduler, policy="bliss"),
+    )
+    traces = [_trace("a", 1), _trace("b", 2)]
+    result = SystemSimulator(combo, traces).run()
+    assert result.total_cycles > 0
+
+
+def test_real_workload_mix_deterministic(config):
+    traces = [
+        make_trace("xsbench", length=400, seed=0),
+        make_trace("bzip2_small", length=400, seed=1),
+    ]
+    first = SystemSimulator(config, traces, seed=3).run()
+    second = SystemSimulator(config, traces, seed=3).run()
+    assert [core.cycles for core in first.cores] == [
+        core.cycles for core in second.cores
+    ]
+
+
+def test_grace_period_defers_competing_core(config):
+    """With a huge grace period, the competing core gets measurably
+    slower than with none -- the reservation is a real delay."""
+    traces = [_trace("a", 7), _trace("b", 7)]
+    no_grace = config.with_tempo(True, grace_period_cycles=0)
+    big_grace = config.with_tempo(True, grace_period_cycles=400)
+    cycles_none = SystemSimulator(no_grace, traces).run().total_cycles
+    cycles_big = SystemSimulator(big_grace, traces).run().total_cycles
+    assert cycles_big != cycles_none  # reservations change the schedule

@@ -1,0 +1,117 @@
+"""Smoke tests for the per-figure experiment drivers.
+
+These run with tiny traces: they verify structure and basic sanity, not
+the paper-shape assertions (those live in test_integration.py and run on
+longer traces).
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.expectations import PAPER_EXPECTATIONS
+from repro.analysis.tables import format_table, render_experiment
+
+SHORT = dict(workloads=("xsbench",), length=1200, seed=0)
+
+
+def test_fig01_structure():
+    result = experiments.fig01_runtime_breakdown(**SHORT)
+    assert result["figure"] == "fig01"
+    row = result["rows"][0]
+    assert row["workload"] == "xsbench"
+    assert 0 <= row["dram_ptw_fraction"] <= 1
+
+
+def test_fig04_structure():
+    result = experiments.fig04_dram_reference_breakdown(**SHORT)
+    row = result["rows"][0]
+    total = row["ptw_fraction"] + row["replay_fraction"] + row["other_fraction"]
+    assert total == pytest.approx(1.0)
+
+
+def test_fig10_structure():
+    result = experiments.fig10_performance_energy(**SHORT)
+    row = result["rows"][0]
+    assert "performance_improvement" in row
+    assert 0 <= row["superpage_fraction"] <= 1
+
+
+def test_fig11_left_structure():
+    result = experiments.fig11_replay_service(**SHORT)
+    row = result["rows"][0]
+    total = row["llc_fraction"] + row["row_buffer_fraction"] + row["unaided_fraction"]
+    assert total == pytest.approx(1.0)
+
+
+def test_fig12_structure():
+    result = experiments.fig12_imp_interaction(**SHORT)
+    row = result["rows"][0]
+    assert "improvement_with_imp" in row and "improvement_no_imp" in row
+
+
+def test_fig13_variants_cover_paper_configs():
+    result = experiments.fig13_superpage_sensitivity(
+        workloads=("xsbench",), length=800, seed=0
+    )
+    variants = {row["variant"] for row in result["rows"]}
+    assert variants == {
+        "4k-only", "thp-memhog75", "thp-memhog50", "thp-memhog25",
+        "thp-memhog0", "hugetlbfs-2m", "hugetlbfs-1g",
+    }
+    by_variant = {row["variant"]: row for row in result["rows"]}
+    assert by_variant["4k-only"]["superpage_fraction"] == 0.0
+    assert by_variant["hugetlbfs-2m"]["superpage_fraction"] > 0.9
+
+
+def test_fig14_covers_three_policies():
+    result = experiments.fig14_row_policies(**SHORT)
+    assert {row["policy"] for row in result["rows"]} == {"adaptive", "open", "closed"}
+
+
+def test_fig15_sweeps_waits():
+    result = experiments.fig15_wait_cycles(
+        workloads=("xsbench",), length=1200, seed=0, waits=(0, 10)
+    )
+    assert {row["wait_cycles"] for row in result["rows"]} == {0, 10}
+
+
+def test_fig16_structure():
+    result = experiments.fig16_bliss(
+        mixes=[("xsbench", "bzip2_small")], length=700,
+        prefetch_weights=(1,), grace_periods=(15,),
+    )
+    assert result["weight_rows"][0]["prefetch_weight"] == 0.5
+    assert "ws_improvement" in result["grace_rows"][0]
+
+
+def test_fig17_structure():
+    result = experiments.fig17_subrows(
+        mixes=[("xsbench", "bzip2_small")], length=600, dedicated_options=(0, 2)
+    )
+    assert {row["allocation"] for row in result["rows"]} == {"foa", "poa"}
+    assert {row["dedicated_subrows"] for row in result["rows"]} == {0, 2}
+
+
+def test_expectations_cover_every_figure():
+    assert set(PAPER_EXPECTATIONS) == {
+        "fig01", "fig04", "fig10", "fig11_left", "fig11_right",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    }
+    assert all("claim" in entry for entry in PAPER_EXPECTATIONS.values())
+
+
+def test_format_table():
+    table = format_table(
+        [{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}], title="demo"
+    )
+    assert "demo" in table
+    assert "0.500" in table
+    assert format_table([]) == "(no rows)"
+
+
+def test_render_experiment_includes_claim():
+    rendered = render_experiment(
+        {"figure": "fig01", "rows": [{"workload": "x", "dram_ptw_fraction": 0.2}]}
+    )
+    assert "fig01" in rendered
+    assert "paper:" in rendered

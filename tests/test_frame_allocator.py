@@ -1,0 +1,129 @@
+"""Tests for the physical frame allocator + fragmentation model."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.errors import AllocationError, ConfigError
+from repro.common.rng import DeterministicRng
+from repro.vm.frame_allocator import FrameAllocator
+
+
+def _make(bytes_=1024 * 1024 * 1024, seed=1):
+    return FrameAllocator(bytes_, DeterministicRng(seed, "alloc"))
+
+
+def test_alloc_4k_returns_aligned_distinct_frames():
+    allocator = _make()
+    frames = [allocator.alloc_4k() for _ in range(1000)]
+    assert len(set(frames)) == 1000
+    assert all(frame % PAGE_SIZE_4K == 0 for frame in frames)
+
+
+def test_alloc_4k_fills_region_before_opening_new():
+    allocator = _make()
+    frames = [allocator.alloc_4k() for _ in range(512)]
+    # The first 512 4 KB frames fill exactly one 2 MB region.
+    assert all(frame < PAGE_SIZE_2M for frame in frames)
+    assert allocator.alloc_4k() >= PAGE_SIZE_2M
+
+
+def test_alloc_2m_aligned():
+    allocator = _make()
+    frame = allocator.alloc_2m()
+    assert frame % PAGE_SIZE_2M == 0
+
+
+def test_alloc_2m_never_overlaps_4k_regions():
+    allocator = _make()
+    small = {allocator.alloc_4k() // PAGE_SIZE_2M for _ in range(600)}
+    big = allocator.alloc_2m() // PAGE_SIZE_2M
+    assert big not in small
+
+
+def test_alloc_1g_aligned_and_disjoint():
+    allocator = _make(8 * 1024 * 1024 * 1024)
+    first = allocator.alloc_1g()
+    second = allocator.alloc_1g()
+    assert first % PAGE_SIZE_1G == 0
+    assert second % PAGE_SIZE_1G == 0
+    assert abs(second - first) >= PAGE_SIZE_1G
+
+
+def test_free_4k_reuses_frame():
+    allocator = _make()
+    frame = allocator.alloc_4k()
+    allocator.free_4k(frame)
+    assert allocator.alloc_4k() == frame
+
+
+def test_exhaustion_raises():
+    allocator = _make(2 * PAGE_SIZE_2M)
+    allocator.alloc_2m()
+    allocator.alloc_2m()
+    with pytest.raises(AllocationError):
+        allocator.alloc_2m()
+    assert allocator.try_alloc_2m() is None
+
+
+def test_memhog_consumes_capacity():
+    allocator = _make(4 * PAGE_SIZE_2M)
+    allocator.apply_memhog(0.5)
+    # Contiguity failures are probabilistic, but capacity is hard: at
+    # most 2 of the 4 regions remain allocatable.
+    successes = sum(1 for _ in range(200) if allocator.try_alloc_2m() is not None)
+    assert successes <= 2
+    assert allocator.try_alloc_2m() is None or successes < 2
+
+
+def test_memhog_degrades_2m_contiguity():
+    results = {}
+    for fraction in (0.0, 0.5):
+        allocator = _make(64 * 1024 * 1024 * 1024, seed=3)
+        allocator.apply_memhog(fraction)
+        successes = sum(
+            1 for _ in range(2000) if allocator.try_alloc_2m() is not None
+        )
+        results[fraction] = successes
+    assert results[0.0] == 2000
+    # (1 - 0.5)**2 = 25% expected success.
+    assert 350 < results[0.5] < 650
+
+
+def test_memhog_blocks_fresh_1g_pages():
+    allocator = _make(8 * 1024 * 1024 * 1024)
+    allocator.apply_memhog(0.25)
+    assert allocator.try_alloc_1g() is None
+
+
+def test_reserve_pool_sizes_and_alignment():
+    allocator = _make(4 * 1024 * 1024 * 1024)
+    pool = allocator.reserve_pool(PAGE_SIZE_2M, 16)
+    assert len(pool) == 16
+    assert len(set(pool)) == 16
+    assert all(frame % PAGE_SIZE_2M == 0 for frame in pool)
+
+
+def test_reserve_pool_rejects_4k():
+    with pytest.raises(ConfigError):
+        _make().reserve_pool(PAGE_SIZE_4K, 4)
+
+
+def test_memhog_rejects_bad_fraction():
+    with pytest.raises(ConfigError):
+        _make().apply_memhog(1.5)
+
+
+def test_free_bytes_decreases_monotonically():
+    allocator = _make()
+    start = allocator.free_bytes
+    allocator.alloc_4k()
+    after_4k = allocator.free_bytes
+    allocator.alloc_2m()
+    after_2m = allocator.free_bytes
+    assert start > after_4k > after_2m
+    assert start - after_2m >= PAGE_SIZE_2M + PAGE_SIZE_4K
+
+
+def test_rejects_tiny_memory():
+    with pytest.raises(ConfigError):
+        FrameAllocator(PAGE_SIZE_4K, DeterministicRng(0, "x"))

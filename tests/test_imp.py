@@ -1,0 +1,90 @@
+"""Tests for the IMP indirect-memory prefetcher model."""
+
+import pytest
+
+from repro.common.config import ImpConfig
+from repro.cache.imp import PREFETCH_DEGREE, TRAIN_THRESHOLD, ImpPrefetcher
+
+
+def _upcoming(position, count=8, stride=0x1000):
+    return [(position + 1 + i, 0x100000 + i * stride) for i in range(count)]
+
+
+@pytest.fixture
+def imp():
+    return ImpPrefetcher(ImpConfig(enabled=True))
+
+
+def test_unlabeled_accesses_never_train(imp):
+    for position in range(50):
+        assert imp.observe(None, position, _upcoming(position)) == []
+    assert imp.trained_streams == 0
+
+
+def test_training_threshold(imp):
+    position = 0
+    for position in range(TRAIN_THRESHOLD - 1):
+        assert imp.observe("s", position, _upcoming(position)) == []
+    targets = imp.observe("s", TRAIN_THRESHOLD - 1, _upcoming(TRAIN_THRESHOLD - 1))
+    assert targets  # trained on the threshold-th observation
+    assert imp.trained_streams == 1
+
+
+def _train(imp, pattern, start=0):
+    position = start
+    for offset in range(TRAIN_THRESHOLD):
+        position = start + offset
+        imp.observe(pattern, position, _upcoming(position))
+    return position
+
+
+def test_prefetch_degree_limits_targets(imp):
+    last = _train(imp, "s")
+    targets = imp.observe("s", last + 1, _upcoming(last + 1))
+    assert len(targets) <= PREFETCH_DEGREE
+
+
+def test_no_repeat_prefetch_of_same_index(imp):
+    last = _train(imp, "s")
+    upcoming = _upcoming(last + 1)
+    first = imp.observe("s", last + 1, upcoming)
+    second = imp.observe("s", last + 1, upcoming)
+    assert first
+    assert not set(first) & set(second)
+
+
+def test_distance_window_enforced(imp):
+    last = _train(imp, "s")
+    config = ImpConfig(enabled=True)
+    far = [(last + config.max_prefetch_distance + 50, 0xDEAD000)]
+    assert imp.observe("s", last + 1, far) == []
+
+
+def test_ipd_capacity_evicts_oldest(imp):
+    config = ImpConfig(enabled=True)
+    # Touch more streams than the IPD holds, once each.
+    for index in range(config.indirect_pattern_detector_entries + 2):
+        imp.observe("stream%d" % index, index, _upcoming(index))
+    assert imp.stats.counter("ipd_evictions").value == 2
+
+
+def test_prefetch_table_capacity(imp):
+    config = ImpConfig(enabled=True)
+    # Train more streams than the table holds.
+    base = 0
+    for index in range(config.prefetch_table_entries + 3):
+        _train(imp, "t%d" % index, start=base)
+        base += TRAIN_THRESHOLD
+    assert imp.trained_streams <= config.prefetch_table_entries
+    assert imp.stats.counter("table_evictions").value >= 3
+
+
+def test_empty_upcoming_is_fine(imp):
+    last = _train(imp, "s")
+    assert imp.observe("s", last + 1, []) == []
+
+
+def test_issued_counter(imp):
+    last = _train(imp, "s")
+    imp.observe("s", last + 1, _upcoming(last + 1))
+    assert imp.stats.counter("prefetches_issued").value >= 1

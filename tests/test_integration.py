@@ -1,0 +1,115 @@
+"""End-to-end paper-shape integration tests.
+
+These run real workloads at moderate trace lengths and assert the
+*qualitative* results the paper reports.  They are the slowest tests in
+the suite (a few seconds each).
+"""
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.sim.runner import (
+    energy_fraction,
+    run_baseline_and_tempo,
+    run_workload,
+    speedup_fraction,
+)
+
+LENGTH = 8000
+
+
+@pytest.fixture(scope="module")
+def xsbench_pair():
+    return run_baseline_and_tempo("xsbench", length=LENGTH, seed=0)
+
+
+def test_fig1_shape_ptw_and_replay_are_major(xsbench_pair):
+    baseline, _ = xsbench_pair
+    runtime = baseline.core.runtime
+    assert runtime.fraction("ptw") > 0.08
+    assert runtime.fraction("replay") > 0.08
+
+
+def test_fig4_shape_reference_fractions(xsbench_pair):
+    baseline, _ = xsbench_pair
+    refs = baseline.core.dram_refs
+    assert 0.10 < refs.fraction("ptw") < 0.60
+    assert refs.fraction("replay") > 0.15
+    assert refs.leaf_fraction_of_ptw() > 0.60
+    assert refs.replay_follows_ptw_rate() > 0.90
+
+
+def test_fig10_shape_tempo_wins_perf_and_energy(xsbench_pair):
+    baseline, tempo = xsbench_pair
+    assert 0.05 < speedup_fraction(baseline, tempo) < 0.45
+    assert energy_fraction(baseline, tempo) > 0.0
+    assert baseline.superpage_fraction > 0.3
+
+
+def test_fig11_shape_replays_served_by_prefetch(xsbench_pair):
+    _, tempo = xsbench_pair
+    service = tempo.core.replay_service
+    assert service.total > 100
+    assert service.fraction("llc") + service.fraction("row_buffer") > 0.9
+
+
+def test_small_footprint_not_harmed():
+    baseline, tempo = run_baseline_and_tempo("blackscholes_small", length=4000, seed=0)
+    speedup = speedup_fraction(baseline, tempo)
+    assert abs(speedup) < 0.03  # ~no change
+    assert abs(energy_fraction(baseline, tempo)) < 0.03
+
+
+def test_tempo_helps_every_bigdata_workload():
+    for name in ("mcf", "graph500", "illustris"):
+        baseline, tempo = run_baseline_and_tempo(name, length=5000, seed=0)
+        assert speedup_fraction(baseline, tempo) > 0.03, name
+
+
+def test_superpage_coverage_reduces_walks():
+    from dataclasses import replace
+
+    config = default_system_config().with_tempo(False)
+    no_thp = config.copy_with(vm=replace(config.vm, thp_enabled=False))
+    hugetlb = config.copy_with(vm=replace(config.vm, hugetlbfs_2m=True))
+    walks = {}
+    for label, cfg in (("4k", no_thp), ("2m", hugetlb)):
+        result = run_workload("xsbench", cfg, length=5000, seed=0)
+        walks[label] = result.core.dram_refs.walks_with_dram_leaf
+    assert walks["2m"] < walks["4k"]
+
+
+def test_tempo_benefit_shrinks_with_superpages():
+    from dataclasses import replace
+
+    config = default_system_config()
+    no_thp = config.copy_with(vm=replace(config.vm, thp_enabled=False))
+    hugetlb = config.copy_with(vm=replace(config.vm, hugetlbfs_2m=True))
+    base_4k, tempo_4k = run_baseline_and_tempo("xsbench", no_thp, length=5000, seed=0)
+    base_2m, tempo_2m = run_baseline_and_tempo("xsbench", hugetlb, length=5000, seed=0)
+    assert speedup_fraction(base_4k, tempo_4k) > speedup_fraction(base_2m, tempo_2m)
+    assert speedup_fraction(base_4k, tempo_4k) > 0.10
+
+
+def test_row_policies_all_benefit():
+    from dataclasses import replace
+
+    config = default_system_config()
+    for policy in ("adaptive", "open", "closed"):
+        cfg = config.copy_with(row_policy=replace(config.row_policy, policy=policy))
+        baseline, tempo = run_baseline_and_tempo("graph500", cfg, length=5000, seed=0)
+        assert speedup_fraction(baseline, tempo) > 0.02, policy
+
+
+def test_imp_interaction_amplifies_tempo():
+    from dataclasses import replace
+
+    config = default_system_config()
+    imp_config = config.copy_with(imp=replace(config.imp, enabled=True))
+    base, tempo = run_baseline_and_tempo("spmv", config, length=6000, seed=0)
+    base_imp, tempo_imp = run_baseline_and_tempo("spmv", imp_config, length=6000, seed=0)
+    without = speedup_fraction(base, tempo)
+    with_imp = speedup_fraction(base_imp, tempo_imp)
+    # Paper Fig. 12: TEMPO's relative benefit grows under IMP.
+    assert with_imp > without - 0.02
+    assert with_imp > 0.05

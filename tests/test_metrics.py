@@ -1,0 +1,105 @@
+"""Tests for the metric structures."""
+
+import pytest
+
+from repro.sim.metrics import (
+    CoreResult,
+    DramReferenceBreakdown,
+    ReplayServiceBreakdown,
+    RuntimeBreakdown,
+    SimulationResult,
+    energy_improvement,
+    max_slowdown,
+    performance_improvement,
+    weighted_speedup,
+)
+
+
+def test_runtime_fractions_sum_to_one():
+    runtime = RuntimeBreakdown(1000, 300, 250, 150)
+    total = sum(runtime.fraction(bucket) for bucket in ("ptw", "replay", "other", "rest"))
+    assert total == pytest.approx(1.0)
+    assert runtime.non_dram_cycles == 300
+
+
+def test_runtime_empty_is_zero():
+    assert RuntimeBreakdown().fraction("ptw") == 0.0
+
+
+def test_dram_refs_fractions():
+    refs = DramReferenceBreakdown()
+    refs.ptw_leaf = 30
+    refs.ptw_upper = 2
+    refs.replay = 28
+    refs.other = 40
+    assert refs.demand_total == 100
+    assert refs.fraction("ptw") == pytest.approx(0.32)
+    assert refs.leaf_fraction_of_ptw() == pytest.approx(30 / 32)
+
+
+def test_dram_refs_follow_rate():
+    refs = DramReferenceBreakdown()
+    refs.walks_with_dram_leaf = 50
+    refs.replay_also_dram = 49
+    assert refs.replay_follows_ptw_rate() == pytest.approx(0.98)
+    assert DramReferenceBreakdown().replay_follows_ptw_rate() == 0.0
+
+
+def test_replay_service_fractions():
+    service = ReplayServiceBreakdown()
+    service.llc = 80
+    service.row_buffer = 15
+    service.unaided = 5
+    assert service.fraction("llc") == pytest.approx(0.8)
+    assert service.total == 100
+    assert ReplayServiceBreakdown().fraction("llc") == 0.0
+
+
+def _core(cycles, refs=1000, name="w"):
+    runtime = RuntimeBreakdown(total_cycles=cycles)
+    return CoreResult(name, refs, runtime, DramReferenceBreakdown(), ReplayServiceBreakdown())
+
+
+def test_ipc_proxy():
+    core = _core(2000, refs=1000)
+    assert core.ipc_proxy == pytest.approx(0.5)
+    assert _core(0, refs=10).ipc_proxy == 0.0
+
+
+def test_performance_improvement():
+    assert performance_improvement(100, 70) == pytest.approx(0.3)
+    assert performance_improvement(0, 50) == 0.0
+
+
+def test_energy_improvement():
+    assert energy_improvement(200.0, 180.0) == pytest.approx(0.1)
+
+
+def test_weighted_speedup():
+    shared = [_core(2000), _core(4000)]
+    alone = [_core(1000), _core(1000)]
+    # IPCs: shared (0.5, 0.25), alone (1, 1) -> WS = 0.75
+    assert weighted_speedup(shared, alone) == pytest.approx(0.75)
+
+
+def test_max_slowdown():
+    shared = [_core(2000), _core(4000)]
+    alone = [_core(1000), _core(1000)]
+    assert max_slowdown(shared, alone) == pytest.approx(4.0)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        weighted_speedup([_core(1)], [])
+    with pytest.raises(ValueError):
+        max_slowdown([_core(1)], [])
+
+
+def test_simulation_result_single_core_accessor():
+    result = SimulationResult([_core(100)], 5.0, 0.6)
+    assert result.core.cycles == 100
+    assert result.total_cycles == 100
+    multi = SimulationResult([_core(100), _core(200)], 5.0, 0.6)
+    assert multi.total_cycles == 200
+    with pytest.raises(ValueError):
+        multi.core

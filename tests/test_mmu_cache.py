@@ -1,0 +1,69 @@
+"""Tests for the page-walk (MMU) caches."""
+
+import pytest
+
+from repro.common.config import MmuCacheConfig
+from repro.mmu.mmu_cache import MmuCaches
+
+
+@pytest.fixture
+def caches():
+    return MmuCaches(MmuCacheConfig(entries_per_level=8, assoc=2))
+
+
+def test_miss_then_insert_then_hit(caches):
+    assert not caches.lookup(4, 0x4000, is_leaf=False)
+    caches.insert(4, 0x4000, is_leaf=False)
+    assert caches.lookup(4, 0x4000, is_leaf=False)
+
+
+def test_levels_are_independent(caches):
+    caches.insert(4, 0x4000, is_leaf=False)
+    assert not caches.lookup(3, 0x4000, is_leaf=False)
+    assert not caches.lookup(2, 0x4000, is_leaf=False)
+
+
+def test_leaf_entries_never_cached(caches):
+    caches.insert(2, 0x4000, is_leaf=True)  # a 2 MB leaf at L2
+    assert not caches.lookup(2, 0x4000, is_leaf=True)
+    # Even if a non-leaf insert happened, a leaf lookup must not hit:
+    caches.insert(2, 0x4000, is_leaf=False)
+    assert not caches.lookup(2, 0x4000, is_leaf=True)
+
+
+def test_l1_level_never_cached(caches):
+    caches.insert(1, 0x4000, is_leaf=False)
+    assert not caches.lookup(1, 0x4000, is_leaf=False)
+
+
+def test_capacity_bounded_lru(caches):
+    # 8 entries, 2-way, 4 sets: insert many conflicting entries.
+    entries = [0x4000 + i * 4 * 8 for i in range(10)]  # same set (stride 4 sets * 8B)
+    for entry in entries:
+        caches.insert(4, entry, is_leaf=False)
+    hits = sum(caches.lookup(4, entry, is_leaf=False) for entry in entries)
+    assert hits <= 2  # at most one set's worth survive
+
+
+def test_lru_refresh_on_hit(caches):
+    stride = 4 * 8  # same-set stride
+    first, second, third = 0x4000, 0x4000 + stride, 0x4000 + 2 * stride
+    caches.insert(4, first, is_leaf=False)
+    caches.insert(4, second, is_leaf=False)
+    caches.lookup(4, first, is_leaf=False)  # refresh -> second becomes LRU
+    caches.insert(4, third, is_leaf=False)
+    assert caches.lookup(4, first, is_leaf=False)
+    assert not caches.lookup(4, second, is_leaf=False)
+
+
+def test_flush(caches):
+    caches.insert(4, 0x4000, is_leaf=False)
+    caches.flush()
+    assert not caches.lookup(4, 0x4000, is_leaf=False)
+
+
+def test_hit_rate(caches):
+    caches.lookup(4, 0x4000, is_leaf=False)
+    caches.insert(4, 0x4000, is_leaf=False)
+    caches.lookup(4, 0x4000, is_leaf=False)
+    assert caches.hit_rate() == pytest.approx(0.5)

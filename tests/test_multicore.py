@@ -1,0 +1,99 @@
+"""Tests for multiprogrammed simulation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.sim.multicore import MulticoreSimulator
+from repro.sim.system import SystemSimulator
+from repro.workloads.base import MB, TraceBuilder
+
+
+def _intense_trace(name, seed):
+    builder = TraceBuilder(name, seed=seed)
+    region = builder.region("data", 8 * 1024 * MB, thp_eligibility=0.5)
+    for _ in range(600):
+        builder.read(region.clustered(hot_chunks=512, tail=0.01), gap=1)
+    return builder.build()
+
+
+def _light_trace(name, seed):
+    builder = TraceBuilder(name, seed=seed)
+    region = builder.region("data", 8 * MB)
+    for _ in range(600):
+        builder.read(region.zipf(skew=0.9), gap=20)
+    return builder.build()
+
+
+@pytest.fixture
+def traces():
+    return [_intense_trace("heavy", 1), _light_trace("light", 2)]
+
+
+def test_shared_run_has_one_result_per_core(config, traces):
+    result = SystemSimulator(config, traces).run()
+    assert len(result.cores) == 2
+    assert {core.workload_name for core in result.cores} == {"heavy", "light"}
+
+
+def test_cores_have_private_translation_state(config, traces):
+    simulator = SystemSimulator(config, traces)
+    simulator.run()
+    first, second = simulator.cores
+    assert first.address_space is not second.address_space
+    assert first.tlb is not second.tlb
+    assert first.address_space.page_table.cr3 != second.address_space.page_table.cr3
+
+
+def test_sharing_slows_down_vs_alone(config, traces):
+    multicore = MulticoreSimulator(config, traces)
+    result = multicore.run()
+    assert result.max_slowdown >= 1.0
+    assert 0 < result.weighted_speedup <= len(traces) + 0.01
+
+
+def test_tempo_improves_weighted_speedup(config, traces):
+    baseline = MulticoreSimulator(config.with_tempo(False), traces).run()
+    tempo = MulticoreSimulator(config.with_tempo(True), traces).run()
+    assert tempo.weighted_speedup > baseline.weighted_speedup
+
+
+def test_alone_results_reusable(config, traces):
+    multicore = MulticoreSimulator(config, traces)
+    alone = multicore.run_alone()
+    result = multicore.run(alone_results=alone)
+    rerun = multicore.run(alone_results=alone)
+    assert result.weighted_speedup == rerun.weighted_speedup
+
+
+def test_bliss_scheduler_runs_multicore(config, traces):
+    bliss_config = config.copy_with(
+        scheduler=replace(config.scheduler, policy="bliss")
+    )
+    result = MulticoreSimulator(bliss_config, traces).run()
+    assert result.weighted_speedup > 0
+
+
+def test_subrow_banks_run_multicore(config, traces):
+    subrows = replace(config.dram.subrows, enabled=True)
+    subrow_config = config.copy_with(dram=replace(config.dram, subrows=subrows))
+    result = MulticoreSimulator(subrow_config, traces).run()
+    assert result.weighted_speedup > 0
+
+
+def test_multicore_deterministic(config, traces):
+    first = SystemSimulator(config, traces, seed=5).run().total_cycles
+    second = SystemSimulator(config, traces, seed=5).run().total_cycles
+    assert first == second
+
+
+def test_light_app_is_the_less_slowed(config, traces):
+    multicore = MulticoreSimulator(config.with_tempo(False), traces)
+    result = multicore.run()
+    slowdowns = {
+        shared.workload_name: shared.cycles / alone.core.cycles
+        for shared, alone in zip(result.shared.cores, result.alone)
+    }
+    # The compute-bound app suffers less from memory interference.
+    assert slowdowns["light"] <= slowdowns["heavy"] + 0.5

@@ -1,0 +1,92 @@
+"""Tests for TEMPO's prefetch engine."""
+
+import pytest
+
+from repro.common.config import TempoConfig
+from repro.sched.request import KIND_PT, KIND_TEMPO_PREFETCH, MemoryRequest
+from repro.core.prefetch_engine import PrefetchEngine
+from repro.vm.page_table import PageTableEntry
+
+
+def _engine(**overrides):
+    return PrefetchEngine(TempoConfig(**overrides))
+
+
+def _tagged_pt(frame=0xABC000, line=3, present=True):
+    pte = PageTableEntry(present=present, is_leaf=True, frame_paddr=frame, page_size=4096)
+    return MemoryRequest(
+        0x40000, KIND_PT, cpu=2, tempo_tagged=True, pte=pte, replay_line_index=line,
+        pt_leaf=True,
+    )
+
+
+def test_builds_prefetch_with_reconstructed_address():
+    engine = _engine()
+    prefetch = engine.build_prefetch(_tagged_pt(frame=0xABC000, line=3), 1000)
+    assert prefetch is not None
+    assert prefetch.kind == KIND_TEMPO_PREFETCH
+    assert prefetch.paddr == 0xABC000 + 3 * 64
+    assert prefetch.cpu == 2
+
+
+def test_prefetch_respects_anticipation_window():
+    engine = _engine(wait_cycles=10)
+    prefetch = engine.build_prefetch(_tagged_pt(), 1000)
+    assert prefetch.not_before == 1010
+    assert prefetch.enqueue_time == 1000
+
+
+def test_prefetch_links_origin():
+    engine = _engine()
+    pt = _tagged_pt()
+    prefetch = engine.build_prefetch(pt, 1000)
+    assert prefetch.origin_pt_id == pt.req_id
+
+
+def test_page_fault_suppression():
+    """Paper Sec. 4.5: non-present translations must not prefetch."""
+    engine = _engine()
+    assert engine.build_prefetch(_tagged_pt(present=False), 1000) is None
+    assert engine.stats.counter("suppressed_not_present").value == 1
+
+
+def test_missing_pte_suppressed():
+    engine = _engine()
+    request = MemoryRequest(0x40000, KIND_PT, tempo_tagged=True, pte=None)
+    assert engine.build_prefetch(request, 1000) is None
+
+
+def test_untagged_requests_ignored():
+    engine = _engine()
+    request = MemoryRequest(0x40000, KIND_PT, tempo_tagged=False)
+    assert engine.build_prefetch(request, 1000) is None
+
+
+def test_disabled_engine_is_inert():
+    engine = _engine(enabled=False, llc_prefetch=False)
+    assert not engine.active
+    assert engine.build_prefetch(_tagged_pt(), 1000) is None
+
+
+def test_row_only_mode_has_no_llc_ready_time():
+    engine = _engine(llc_prefetch=False)
+    assert engine.llc_ready_time(500) is None
+
+
+def test_llc_ready_time_adds_ship_latency():
+    engine = _engine(prefetch_llc_extra_cycles=25)
+    assert engine.llc_ready_time(500) == 525
+
+
+def test_non_speculative_address_is_exact():
+    """Paper Sec. 3: the engine's address is always the replay's."""
+    from repro.common.addressing import cache_line_base, translate
+
+    engine = _engine()
+    vaddr = 0x7654_3000 + 7 * 64 + 13
+    frame = 0x00F0_0000
+    from repro.common.addressing import line_index_in_page
+
+    pt = _tagged_pt(frame=frame, line=line_index_in_page(vaddr))
+    prefetch = engine.build_prefetch(pt, 0)
+    assert prefetch.paddr == cache_line_base(translate(vaddr, frame))

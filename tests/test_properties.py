@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import addressing
+from repro.common.config import CacheConfig, DramConfig, TlbConfig
+from repro.common.constants import (
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    VA_BITS,
+)
+from repro.common.rng import DeterministicRng
+from repro.cache.cache import Cache
+from repro.dram.address_map import AddressMap
+from repro.mmu.tlb import SetAssociativeTlb
+from repro.vm.frame_allocator import FrameAllocator
+from repro.vm.page_table import PageTable
+
+vaddrs = st.integers(min_value=0, max_value=(1 << VA_BITS) - 1)
+paddrs = st.integers(min_value=0, max_value=(1 << 44) - 1)
+
+
+@given(vaddrs)
+def test_radix_indices_reconstruct_vpn(vaddr):
+    """The four 9-bit indices are exactly the 4 KB VPN, re-sliced."""
+    l4, l3, l2, l1 = addressing.radix_indices(vaddr)
+    vpn = addressing.page_number(vaddr, PAGE_SIZE_4K)
+    assert (((l4 * 512 + l3) * 512 + l2) * 512 + l1) == vpn
+
+
+@given(vaddrs)
+def test_page_split_roundtrip(vaddr):
+    for page_size in (PAGE_SIZE_4K, PAGE_SIZE_2M):
+        vpn, offset = addressing.split_vaddr(vaddr, page_size)
+        assert addressing.page_address(vpn, page_size) + offset == addressing.canonical(vaddr)
+        assert 0 <= offset < page_size
+
+
+@given(vaddrs, paddrs)
+def test_replay_address_always_line_of_translation(vaddr, frame_raw):
+    """TEMPO's reconstruction is non-speculative for every address."""
+    frame = addressing.page_base(frame_raw, PAGE_SIZE_4K)
+    line_index = addressing.line_index_in_page(vaddr)
+    reconstructed = addressing.replay_address(frame, line_index)
+    actual = addressing.cache_line_base(addressing.translate(vaddr, frame))
+    assert reconstructed == actual
+
+
+@given(st.lists(paddrs, min_size=1, max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(addresses):
+    cache = Cache(CacheConfig(size_bytes=2048, assoc=2))
+    capacity = cache.num_sets * cache.assoc
+    for address in addresses:
+        cache.fill(address)
+        assert cache.occupancy <= capacity
+
+
+@given(st.lists(paddrs, min_size=1, max_size=200))
+def test_cache_fill_then_lookup_hits(addresses):
+    cache = Cache(CacheConfig(size_bytes=8192, assoc=4))
+    for address in addresses:
+        cache.fill(address)
+        assert cache.lookup(address)  # most-recent line always present
+
+
+@given(st.lists(paddrs, min_size=1, max_size=100))
+def test_address_map_decode_is_total_and_disjoint(addresses):
+    amap = AddressMap(DramConfig())
+    for address in addresses:
+        location = amap.decode(address)
+        # Re-encodable: fields identify exactly one bank.
+        assert amap.bank_index(address) == (
+            location.channel * amap.config.banks_per_channel + location.bank
+        )
+        # Same-line addresses always share a row.
+        assert amap.same_row(address, addressing.cache_line_base(address))
+
+
+@given(st.lists(st.tuples(vaddrs, paddrs), min_size=1, max_size=60))
+def test_tlb_returns_only_inserted_translations(pairs):
+    tlb = SetAssociativeTlb(16, 4, PAGE_SIZE_4K)
+    truth = {}
+    for vaddr, frame in pairs:
+        frame = addressing.page_base(frame)
+        tlb.insert(vaddr, frame)
+        truth[addressing.page_number(vaddr)] = frame
+    for vaddr, _ in pairs:
+        found = tlb.lookup(vaddr)
+        if found is not None:
+            assert found == truth[addressing.page_number(vaddr)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << 30) - 1),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda value: value >> 12,
+    )
+)
+def test_page_table_walk_agrees_with_mappings(vaddr_seeds):
+    """Whatever the OS maps, a subsequent walk must return exactly it."""
+    allocator = FrameAllocator(8 * 1024**3, DeterministicRng(0, "prop"))
+    table = PageTable(allocator)
+    truth = {}
+    for seed in vaddr_seeds:
+        vbase = addressing.page_base(seed, PAGE_SIZE_4K)
+        frame = allocator.alloc_4k()
+        table.map(vbase, frame, PAGE_SIZE_4K)
+        truth[vbase] = frame
+    for vbase, frame in truth.items():
+        result = table.walk(vbase + 123)
+        assert not result.faulted
+        assert result.entry.frame_paddr == frame
+        assert result.leaf_level == 1
+        assert len(result.accesses) == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["4k", "2m", "free2m"]), min_size=1, max_size=60))
+def test_allocator_never_hands_out_overlapping_memory(operations):
+    allocator = FrameAllocator(4 * 1024**3, DeterministicRng(1, "prop2"))
+    live = []  # (base, size)
+    for operation in operations:
+        if operation == "4k":
+            live.append((allocator.alloc_4k(), PAGE_SIZE_4K))
+        elif operation == "2m":
+            frame = allocator.try_alloc_2m()
+            if frame is not None:
+                live.append((frame, PAGE_SIZE_2M))
+        elif live and operation == "free2m":
+            continue  # freeing 2M regions is not modelled; skip
+    spans = sorted(live)
+    for (base_a, size_a), (base_b, _) in zip(spans, spans[1:]):
+        assert base_a + size_a <= base_b
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 63), st.booleans()), min_size=1, max_size=120)
+)
+def test_bank_timing_monotonic_and_outcomes_valid(accesses):
+    from repro.dram.bank import Bank, OUTCOME_CONFLICT, OUTCOME_HIT, OUTCOME_MISS
+    from repro.dram.row_policy import OpenRowPolicy
+
+    bank = Bank(0, 16, DramConfig(), OpenRowPolicy())
+    now = 0
+    last_end = 0
+    for row, jump in accesses:
+        start, end, outcome = bank.access(row, now)
+        assert outcome in (OUTCOME_HIT, OUTCOME_MISS, OUTCOME_CONFLICT)
+        assert start >= now
+        assert start >= last_end  # bank serializes
+        assert end > start
+        last_end = end
+        now = end + (37 if jump else 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),  # paddr
+            st.sampled_from(["demand", "pt", "writeback"]),
+            st.integers(min_value=0, max_value=3),  # cpu
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_controller_serves_everything_exactly_once(requests_spec):
+    """Every submitted request is serviced once, with monotone per-bank
+    start times and valid outcomes."""
+    from repro.common.config import default_system_config
+    from repro.sched.controller import MemoryController
+    from repro.sched.request import MemoryRequest
+
+    config = default_system_config().with_tempo(False)
+    controller = MemoryController(config, None, None)
+    submitted = []
+    now = 0
+    for paddr, kind, cpu in requests_spec:
+        request = MemoryRequest(paddr & ~63, kind, cpu=cpu, enqueue_time=now)
+        if kind == "writeback":
+            controller.submit_async(request, now)
+        else:
+            finish = controller.submit_and_wait(request, now)
+            assert finish is not None
+            now = max(now, finish)
+        submitted.append(request)
+    controller.drain_all()
+    assert controller.pending_requests() == 0
+    for request in submitted:
+        assert request.finish_time is not None
+        assert request.outcome in ("hit", "miss", "conflict")
+        assert request.start_time >= request.enqueue_time
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**20))
+def test_system_simulator_deterministic_under_seeds(seed):
+    """Same trace + same seed -> identical cycle counts (spot check)."""
+    from repro.common.config import default_system_config
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.base import TraceBuilder
+
+    def build():
+        builder = TraceBuilder("prop", seed=seed % 7)
+        region = builder.region("data", 1 << 34)
+        for index in range(120):
+            builder.read(region.clustered(hot_chunks=32, tail=0.1), gap=1)
+        return builder.build()
+
+    config = default_system_config()
+    first = SystemSimulator(config, [build()], seed=seed).run().total_cycles
+    second = SystemSimulator(config, [build()], seed=seed).run().total_cycles
+    assert first == second

@@ -1,0 +1,55 @@
+"""Tests for memory requests / TxQ slot accounting."""
+
+import pytest
+
+from repro.sched.request import (
+    KIND_DEMAND,
+    KIND_IMP_PREFETCH,
+    KIND_PT,
+    KIND_TEMPO_PREFETCH,
+    KIND_WRITEBACK,
+    MemoryRequest,
+)
+
+
+def test_ids_are_unique_and_monotonic():
+    a = MemoryRequest(0x1000, KIND_DEMAND)
+    b = MemoryRequest(0x2000, KIND_DEMAND)
+    assert b.req_id > a.req_id
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        MemoryRequest(0x1000, "speculative")
+
+
+def test_tagged_pt_consumes_two_slots():
+    """Paper Sec. 4.1: the piggybacked replay-line info is a second TxQ
+    transaction rather than a 25%-wider queue."""
+    plain = MemoryRequest(0x1000, KIND_PT)
+    tagged = MemoryRequest(0x1000, KIND_PT, tempo_tagged=True, replay_line_index=5)
+    assert plain.slots() == 1
+    assert tagged.slots() == 2
+
+
+def test_kind_predicates():
+    assert MemoryRequest(0, KIND_TEMPO_PREFETCH).is_prefetch
+    assert MemoryRequest(0, KIND_IMP_PREFETCH).is_prefetch
+    assert not MemoryRequest(0, KIND_DEMAND).is_prefetch
+    assert MemoryRequest(0, KIND_PT).is_pt
+    assert not MemoryRequest(0, KIND_WRITEBACK).is_pt
+
+
+def test_service_fields_start_unset():
+    request = MemoryRequest(0x1000, KIND_DEMAND)
+    assert request.start_time is None
+    assert request.finish_time is None
+    assert request.outcome is None
+
+
+def test_tempo_metadata_defaults():
+    request = MemoryRequest(0x1000, KIND_PT)
+    assert not request.tempo_tagged
+    assert request.pte is None
+    assert request.replay_line_index == 0
+    assert request.origin_pt_id is None

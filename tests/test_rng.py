@@ -1,0 +1,70 @@
+"""Determinism tests for the seeded RNG streams."""
+
+from repro.common.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    first = [DeterministicRng(42, "x").randint(0, 1000) for _ in range(1)]
+    second = [DeterministicRng(42, "x").randint(0, 1000) for _ in range(1)]
+    assert first == second
+
+
+def test_purpose_separates_streams():
+    a = DeterministicRng(42, "a")
+    b = DeterministicRng(42, "b")
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_derive_is_deterministic():
+    parent = DeterministicRng(7, "root")
+    child_a = parent.derive("leaf")
+    child_b = DeterministicRng(7, "root").derive("leaf")
+    assert [child_a.random() for _ in range(3)] == [child_b.random() for _ in range(3)]
+
+
+def test_derive_independent_of_parent_consumption():
+    parent = DeterministicRng(7, "root")
+    parent.randint(0, 100)  # consume from the parent stream
+    child = parent.derive("leaf")
+    fresh_child = DeterministicRng(7, "root").derive("leaf")
+    assert child.random() == fresh_child.random()
+
+
+def test_geometric_mean_roughly_matches():
+    rng = DeterministicRng(3, "geo")
+    samples = [rng.geometric(4) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert 3.4 < mean < 4.6
+    assert min(samples) >= 1
+
+
+def test_geometric_degenerate_mean():
+    rng = DeterministicRng(3, "geo1")
+    assert all(rng.geometric(1) == 1 for _ in range(10))
+
+
+def test_zipf_index_in_range_and_skewed():
+    rng = DeterministicRng(9, "zipf")
+    samples = [rng.zipf_index(1000, skew=0.9) for _ in range(3000)]
+    assert all(0 <= sample < 1000 for sample in samples)
+    # Head-heavy: the first decile should receive far more than 10%.
+    head = sum(1 for sample in samples if sample < 100)
+    assert head > len(samples) * 0.3
+
+
+def test_zipf_index_tiny_population():
+    rng = DeterministicRng(9, "zipf2")
+    assert rng.zipf_index(1) == 0
+
+
+def test_choice_and_shuffle_deterministic():
+    rng_a = DeterministicRng(5, "c")
+    rng_b = DeterministicRng(5, "c")
+    sequence_a = list(range(20))
+    sequence_b = list(range(20))
+    rng_a.shuffle(sequence_a)
+    rng_b.shuffle(sequence_b)
+    assert sequence_a == sequence_b
+    assert rng_a.choice("abcdef") == rng_b.choice("abcdef")

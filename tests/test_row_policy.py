@@ -1,0 +1,97 @@
+"""Tests for row-buffer management policies."""
+
+import pytest
+
+from repro.common.config import RowPolicyConfig
+from repro.common.errors import ConfigError
+from repro.dram.row_policy import (
+    MIN_WINDOW,
+    AdaptiveRowPolicy,
+    ClosedRowPolicy,
+    OpenRowPolicy,
+    make_row_policy,
+)
+
+
+def test_open_policy_never_closes():
+    policy = OpenRowPolicy()
+    assert policy.close_time(5, 1000) is None
+
+
+def test_closed_policy_closes_immediately():
+    policy = ClosedRowPolicy()
+    assert policy.close_time(5, 1000) == 1000
+
+
+def _adaptive(initial=200, maximum=2000):
+    return AdaptiveRowPolicy(
+        RowPolicyConfig(policy="adaptive", predictor_initial_window=initial,
+                        predictor_max_window=maximum)
+    )
+
+
+def test_adaptive_initial_window():
+    policy = _adaptive(initial=200)
+    assert policy.close_time(5, 1000) == 1200
+
+
+def test_adaptive_grows_after_premature_close():
+    policy = _adaptive(initial=200)
+    # Same row arrived after auto-close: a hit became a miss.
+    policy.record_transition(prev_row=5, new_row=5, was_open=False)
+    assert policy.close_time(5, 0) == 400
+
+
+def test_adaptive_shrinks_after_conflict():
+    policy = _adaptive(initial=200)
+    policy.record_transition(prev_row=5, new_row=9, was_open=True)
+    assert policy.close_time(5, 0) == 100
+
+
+def test_adaptive_window_saturates():
+    policy = _adaptive(initial=1500, maximum=2000)
+    for _ in range(5):
+        policy.record_transition(5, 5, was_open=False)
+    assert policy.close_time(5, 0) == 2000
+    for _ in range(20):
+        policy.record_transition(5, 9, was_open=True)
+    assert policy.close_time(5, 0) == MIN_WINDOW
+
+
+def test_adaptive_correct_predictions_leave_window_alone():
+    policy = _adaptive(initial=200)
+    policy.record_transition(5, 5, was_open=True)   # hit while open: fine
+    policy.record_transition(5, 9, was_open=False)  # closed before conflict: fine
+    assert policy.close_time(5, 0) == 200
+
+
+def test_adaptive_windows_are_per_row():
+    policy = _adaptive(initial=200)
+    policy.record_transition(5, 5, was_open=False)  # grow row 5 only
+    assert policy.close_time(5, 0) == 400
+    assert policy.close_time(6, 0) == 200
+
+
+def test_adaptive_prediction_cache_evicts():
+    config = RowPolicyConfig(policy="adaptive", predictor_sets=1, predictor_ways=2)
+    policy = AdaptiveRowPolicy(config)
+    policy.record_transition(1, 1, was_open=False)  # row 1 window=400
+    policy.record_transition(2, 2, was_open=False)
+    policy.record_transition(3, 3, was_open=False)  # evicts row 1
+    assert policy.close_time(1, 0) == config.predictor_initial_window
+
+
+def test_adaptive_ignores_none_prev():
+    policy = _adaptive()
+    policy.record_transition(None, 5, was_open=False)  # no crash
+
+
+def test_make_row_policy_dispatch():
+    assert isinstance(make_row_policy(RowPolicyConfig(policy="open")), OpenRowPolicy)
+    assert isinstance(make_row_policy(RowPolicyConfig(policy="closed")), ClosedRowPolicy)
+    assert isinstance(make_row_policy(RowPolicyConfig(policy="adaptive")), AdaptiveRowPolicy)
+
+
+def test_adaptive_requires_config():
+    with pytest.raises(ConfigError):
+        AdaptiveRowPolicy(None)

@@ -1,0 +1,51 @@
+"""Tests for the high-level runner API."""
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import (
+    energy_fraction,
+    run_baseline_and_tempo,
+    run_workload,
+    speedup_fraction,
+)
+from repro.workloads.registry import make_trace
+
+
+def test_run_workload_by_name():
+    result = run_workload("xsbench", length=1200, seed=1)
+    assert isinstance(result, SimulationResult)
+    assert result.core.references > 0
+
+
+def test_run_workload_with_prebuilt_trace():
+    trace = make_trace("mcf", length=1200, seed=1)
+    result = run_workload(trace)
+    assert result.core.workload_name == "mcf"
+
+
+def test_run_baseline_and_tempo_shares_trace():
+    baseline, tempo = run_baseline_and_tempo("graph500", length=1500, seed=1)
+    assert baseline.core.references == tempo.core.references
+
+
+def test_speedup_and_energy_fractions():
+    baseline, tempo = run_baseline_and_tempo("xsbench", length=2500, seed=1)
+    speedup = speedup_fraction(baseline, tempo)
+    energy = energy_fraction(baseline, tempo)
+    assert 0.0 < speedup < 0.5
+    assert -0.05 < energy < 0.3
+
+
+def test_explicit_config_respected():
+    config = default_system_config().with_tempo(False)
+    result = run_workload("mcf", config, length=800, seed=1)
+    assert result.core.replay_service.total == 0  # no TEMPO classification
+
+
+def test_unknown_workload_errors():
+    from repro.common.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        run_workload("nonexistent", length=100)

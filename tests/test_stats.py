@@ -1,0 +1,67 @@
+"""Tests for the statistics primitives."""
+
+from repro.common.stats import Counter, Histogram, StatGroup
+
+
+def test_counter_add_and_reset():
+    counter = Counter("hits")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    assert int(counter) == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_histogram_mean_and_total():
+    histogram = Histogram("latency")
+    histogram.record(10, 2)
+    histogram.record(30)
+    assert histogram.total() == 3
+    assert abs(histogram.mean() - (10 * 2 + 30) / 3) < 1e-12
+
+
+def test_histogram_empty_mean_is_zero():
+    assert Histogram("empty").mean() == 0.0
+
+
+def test_stat_group_creates_counters_on_demand():
+    group = StatGroup("tlb")
+    group.counter("hits").add()
+    group.counter("hits").add()
+    assert group.as_dict() == {"tlb.hits": 2}
+
+
+def test_stat_group_ratio():
+    group = StatGroup("g")
+    group.counter("hits").add(3)
+    group.counter("misses").add(1)
+    assert group.ratio("hits", "misses") == 0.75
+    assert StatGroup("empty").ratio("hits", "misses") == 0.0
+
+
+def test_stat_group_nested_export():
+    group = StatGroup("dram")
+    group.child("bank").counter("hit").add(2)
+    flat = group.as_dict()
+    assert flat["dram.bank.hit"] == 2
+
+
+def test_stat_group_histogram_export():
+    group = StatGroup("g")
+    group.histogram("lat").record(100)
+    flat = group.as_dict()
+    assert flat["g.lat.total"] == 1
+    assert flat["g.lat.mean"] == 100.0
+
+
+def test_stat_group_reset_recurses():
+    group = StatGroup("root")
+    group.counter("a").add()
+    group.child("nested").counter("b").add()
+    group.histogram("h").record(1)
+    group.reset()
+    flat = group.as_dict()
+    assert flat["root.a"] == 0
+    assert flat["root.nested.b"] == 0
+    assert flat["root.h.total"] == 0

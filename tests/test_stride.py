@@ -1,0 +1,55 @@
+"""Tests for the stride-prefetcher baseline."""
+
+from repro.cache.stride import StridePrefetcher
+
+
+def test_constant_stride_locks_and_prefetches():
+    prefetcher = StridePrefetcher(confidence_threshold=2, degree=2)
+    targets = []
+    for i in range(6):
+        targets = prefetcher.observe("a", 0x1000 + i * 256)
+    assert targets == [0x1000 + 6 * 256, 0x1000 + 7 * 256]
+
+
+def test_irregular_stream_never_prefetches():
+    prefetcher = StridePrefetcher(confidence_threshold=2)
+    addresses = [0x1000, 0x5000, 0x2000, 0x9000, 0x3000, 0x8000]
+    for address in addresses:
+        assert prefetcher.observe("a", address) == []
+
+
+def test_streams_are_independent():
+    prefetcher = StridePrefetcher(confidence_threshold=2)
+    for i in range(6):
+        prefetcher.observe("a", 0x1000 + i * 128)
+        result_b = prefetcher.observe("b", 0x90000 - i * 64)
+    assert result_b  # stream b locked its own (negative) stride
+    assert result_b[0] < 0x90000 - 5 * 64
+
+
+def test_zero_stride_never_prefetches():
+    prefetcher = StridePrefetcher(confidence_threshold=2)
+    for _ in range(6):
+        targets = prefetcher.observe("a", 0x4000)
+    assert targets == []
+
+
+def test_none_stream_ignored():
+    prefetcher = StridePrefetcher()
+    assert prefetcher.observe(None, 0x1000) == []
+
+
+def test_table_capacity_lru():
+    prefetcher = StridePrefetcher(table_entries=2)
+    prefetcher.observe("a", 0)
+    prefetcher.observe("b", 0)
+    prefetcher.observe("c", 0)  # evicts "a"
+    assert prefetcher.stats.counter("evictions").value == 1
+
+
+def test_small_strides_collapse_to_one_line():
+    prefetcher = StridePrefetcher(confidence_threshold=2, degree=2)
+    for i in range(6):
+        targets = prefetcher.observe("a", 0x1000 + i * 8)
+    # Two prefetch targets 8 bytes apart share a cache line.
+    assert len(targets) == 1

@@ -1,0 +1,131 @@
+"""Tests for sub-row buffers with FOA/POA allocation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import DramConfig, SubRowConfig
+from repro.common.errors import ConfigError
+from repro.dram.bank import OUTCOME_HIT, OUTCOME_MISS
+from repro.dram.subrow import PREFETCH_OWNER, SubRowBank
+
+
+def _config(num_subrows=8, dedicated=2, allocation="foa"):
+    return DramConfig(
+        subrows=SubRowConfig(
+            enabled=True,
+            num_subrows=num_subrows,
+            allocation=allocation,
+            dedicated_prefetch_subrows=dedicated,
+        )
+    )
+
+
+def _bank(num_cpus=2, **kwargs):
+    return SubRowBank(0, 16, _config(**kwargs), num_cpus=num_cpus)
+
+
+def test_requires_enabled_config():
+    with pytest.raises(ConfigError):
+        SubRowBank(0, 16, DramConfig(), num_cpus=1)
+
+
+def test_segment_granularity():
+    bank = _bank()
+    assert bank.subrow_bytes == 1024  # 8 KB row / 8 sub-rows
+    _, end, _ = bank.access(7, 0, row_offset=0)
+    # Same row, same 1 KB segment: hit.
+    assert bank.access(7, end, row_offset=512)[2] == OUTCOME_HIT
+    # Same row, different segment: miss (separate sub-row).
+    assert bank.access(7, end * 2, row_offset=2048)[2] == OUTCOME_MISS
+
+
+def test_multiple_rows_partially_open():
+    bank = _bank()
+    _, end, _ = bank.access(1, 0, cpu=0, row_offset=0)
+    _, end, _ = bank.access(2, end, cpu=1, row_offset=0)
+    assert bank.classify(1, end, row_offset=0) == OUTCOME_HIT
+    assert bank.classify(2, end, row_offset=0) == OUTCOME_HIT
+
+
+def test_no_conflict_outcome_ever():
+    bank = _bank()
+    time = 0
+    for row in range(40):
+        _, time, outcome = bank.access(row, time, cpu=row % 2, row_offset=0)
+        assert outcome in (OUTCOME_HIT, OUTCOME_MISS)
+
+
+def test_dedicated_slots_hold_prefetches():
+    bank = _bank(dedicated=2)
+    owners = [slot.owner for slot in bank.slots]
+    assert owners[:2] == [PREFETCH_OWNER, PREFETCH_OWNER]
+    _, end, _ = bank.access(9, 0, is_prefetch=True, row_offset=0)
+    prefetch_slots = [slot for slot in bank.slots if slot.owner == PREFETCH_OWNER]
+    assert any(slot.content == (9, 0) for slot in prefetch_slots)
+
+
+def test_demand_traffic_cannot_evict_dedicated_prefetch():
+    bank = _bank(num_cpus=1, dedicated=2)
+    _, end, _ = bank.access(9, 0, is_prefetch=True, row_offset=0)
+    # Flood demand accesses: they may only use the 6 general slots.
+    time = end
+    for row in range(20, 60):
+        _, time, _ = bank.access(row, time, cpu=0, row_offset=0)
+    assert bank.classify(9, time, row_offset=0) == OUTCOME_HIT
+
+
+def test_prefetches_compete_within_dedicated_slots():
+    bank = _bank(dedicated=2)
+    time = 0
+    for row in (1, 2, 3):  # three prefetches, two dedicated slots
+        _, time, _ = bank.access(row, time, is_prefetch=True, row_offset=0)
+    assert bank.classify(1, time, row_offset=0) == OUTCOME_MISS  # LRU victim
+    assert bank.classify(3, time, row_offset=0) == OUTCOME_HIT
+
+
+def test_foa_partitions_general_slots_round_robin():
+    bank = _bank(num_cpus=2, dedicated=2)
+    general_owners = [slot.owner for slot in bank.slots if slot.owner != PREFETCH_OWNER]
+    assert general_owners == [0, 1, 0, 1, 0, 1]
+
+
+def test_foa_cpu_cannot_evict_other_cpus_slots():
+    bank = _bank(num_cpus=2, dedicated=0)
+    _, end, _ = bank.access(5, 0, cpu=1, row_offset=0)
+    time = end
+    for row in range(10, 40):  # cpu 0 floods its own partition
+        _, time, _ = bank.access(row, time, cpu=0, row_offset=0)
+    assert bank.classify(5, time, row_offset=0) == OUTCOME_HIT
+
+
+def test_poa_repartitions_toward_demanding_cpu():
+    bank = _bank(num_cpus=2, dedicated=0, allocation="poa")
+    time = 0
+    # CPU 0 generates nearly all traffic for > one epoch.
+    for i in range(600):
+        _, time, _ = bank.access(i % 50, time, cpu=0, row_offset=0)
+    owners = [slot.owner for slot in bank.slots]
+    assert owners.count(0) > owners.count(1)
+
+
+def test_zero_dedicated_lets_prefetch_use_general():
+    bank = _bank(dedicated=0)
+    _, end, _ = bank.access(9, 0, is_prefetch=True, row_offset=0)
+    assert bank.classify(9, end, row_offset=0) == OUTCOME_HIT
+
+
+def test_interface_parity_with_bank():
+    bank = _bank()
+    bank.reserve(cpu=1, until=100)
+    assert bank.reserved_against(0, 50)
+    assert not bank.reserved_against(1, 50)
+    start, end, outcome = bank.access(3, 0, keep_open_extra=10, latency_override=60)
+    assert end - start == 60
+
+
+def test_open_row_reports_mru():
+    bank = _bank()
+    _, end, _ = bank.access(1, 0, row_offset=0)
+    _, end, _ = bank.access(2, end, row_offset=0)
+    assert bank.open_row == 2

@@ -1,0 +1,128 @@
+"""Tests for superpage allocation policies."""
+
+import pytest
+
+from repro.common.config import VmConfig
+from repro.common.constants import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.errors import ConfigError
+from repro.vm.address_space import Region
+from repro.vm.superpage import (
+    BasePagePolicy,
+    HugetlbfsPolicy,
+    ThpPolicy,
+    make_policy,
+)
+
+GB = 1024 * 1024 * 1024
+
+
+def _region(size=4 * GB, base=0x40000000, eligibility=1.0):
+    return Region(base, size, "r", thp_eligibility=eligibility)
+
+
+def test_base_policy_always_4k(allocator):
+    policy = BasePagePolicy(allocator)
+    vbase, frame, size = policy.choose_mapping(_region(), 0x40001234)
+    assert size == PAGE_SIZE_4K
+    assert vbase == 0x40001000
+    assert frame % PAGE_SIZE_4K == 0
+
+
+def test_thp_promotes_aligned_chunk(allocator):
+    policy = ThpPolicy(allocator)
+    vbase, frame, size = policy.choose_mapping(_region(), 0x40001234)
+    assert size == PAGE_SIZE_2M
+    assert vbase == 0x40000000
+    assert frame % PAGE_SIZE_2M == 0
+
+
+def test_thp_falls_back_when_chunk_exceeds_region(allocator):
+    policy = ThpPolicy(allocator)
+    # A one-page region cannot host a 2 MB chunk.
+    region = Region(0x40000000, PAGE_SIZE_4K, "tiny")
+    _, _, size = policy.choose_mapping(region, 0x40000010)
+    assert size == PAGE_SIZE_4K
+
+
+def test_thp_respects_allow_superpages_flag(allocator):
+    policy = ThpPolicy(allocator)
+    region = Region(0x40000000, 4 * GB, "r", allow_superpages=False)
+    _, _, size = policy.choose_mapping(region, 0x40001234)
+    assert size == PAGE_SIZE_4K
+
+
+def test_thp_eligibility_zero_means_all_4k(allocator):
+    policy = ThpPolicy(allocator)
+    region = _region(eligibility=0.0)
+    sizes = {
+        policy.choose_mapping(region, region.base + i * PAGE_SIZE_2M + 5)[2]
+        for i in range(32)
+    }
+    assert sizes == {PAGE_SIZE_4K}
+
+
+def test_thp_eligibility_partial_is_deterministic(allocator):
+    region = _region(eligibility=0.5)
+    draws_a = [region.chunk_eligible(region.base + i * PAGE_SIZE_2M) for i in range(64)]
+    draws_b = [region.chunk_eligible(region.base + i * PAGE_SIZE_2M) for i in range(64)]
+    assert draws_a == draws_b
+    assert 10 < sum(draws_a) < 54  # roughly half
+
+
+def test_thp_falls_back_under_full_fragmentation(allocator):
+    allocator.apply_memhog(0.99)
+    policy = ThpPolicy(allocator)
+    sizes = {policy.choose_mapping(_region(), 0x40000000 + i * PAGE_SIZE_2M)[2]
+             for i in range(20)}
+    assert PAGE_SIZE_4K in sizes
+
+
+def test_hugetlbfs_2m_uses_reserved_pool(allocator):
+    policy = HugetlbfsPolicy(allocator, PAGE_SIZE_2M, pool_pages=4)
+    assert policy.pool_remaining == 4
+    _, _, size = policy.choose_mapping(_region(), 0x40001234)
+    assert size == PAGE_SIZE_2M
+    assert policy.pool_remaining == 3
+
+
+def test_hugetlbfs_falls_back_when_pool_empty(allocator):
+    policy = HugetlbfsPolicy(allocator, PAGE_SIZE_2M, pool_pages=1)
+    policy.choose_mapping(_region(), 0x40000010)
+    _, _, size = policy.choose_mapping(_region(), 0x40200010)
+    assert size == PAGE_SIZE_4K
+
+
+def test_hugetlbfs_1g(allocator):
+    policy = HugetlbfsPolicy(allocator, PAGE_SIZE_1G, pool_pages=2)
+    region = Region(PAGE_SIZE_1G, 4 * GB, "big")
+    vbase, frame, size = policy.choose_mapping(region, PAGE_SIZE_1G + 12345)
+    assert size == PAGE_SIZE_1G
+    assert vbase == PAGE_SIZE_1G
+    assert frame % PAGE_SIZE_1G == 0
+
+
+def test_hugetlbfs_rejects_4k(allocator):
+    with pytest.raises(ConfigError):
+        HugetlbfsPolicy(allocator, PAGE_SIZE_4K, pool_pages=1)
+
+
+def test_hugetlbfs_survives_memhog_after_reservation(allocator):
+    policy = HugetlbfsPolicy(allocator, PAGE_SIZE_2M, pool_pages=8)
+    allocator.apply_memhog(0.75)
+    _, _, size = policy.choose_mapping(_region(), 0x40000010)
+    assert size == PAGE_SIZE_2M  # reservations predate fragmentation
+
+
+def test_make_policy_dispatch(allocator):
+    assert isinstance(make_policy(VmConfig(thp_enabled=False), allocator), BasePagePolicy)
+    assert isinstance(make_policy(VmConfig(thp_enabled=True), allocator), ThpPolicy)
+    policy = make_policy(VmConfig(hugetlbfs_2m=True), allocator, 16 * PAGE_SIZE_2M)
+    assert isinstance(policy, HugetlbfsPolicy)
+    assert policy.page_size == PAGE_SIZE_2M
+
+
+def test_make_policy_hugetlbfs_overrides_thp(allocator):
+    config = VmConfig(thp_enabled=True, hugetlbfs_1g=True)
+    policy = make_policy(config, allocator, PAGE_SIZE_1G)
+    assert isinstance(policy, HugetlbfsPolicy)
+    assert policy.page_size == PAGE_SIZE_1G

@@ -1,0 +1,85 @@
+"""Tests for traces and the virtual-layout contract."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.trace import RegionSpec, Trace, TraceRecord, plan_virtual_layout
+from repro.vm.address_space import REGION_SPACE_BASE
+
+GB = 1024 * 1024 * 1024
+MB = 1024 * 1024
+
+
+def test_layout_starts_at_region_space_base():
+    assert plan_virtual_layout([64 * MB])[0] == REGION_SPACE_BASE
+
+
+def test_layout_regions_disjoint_with_guard():
+    sizes = [64 * MB, 3 * GB + 5, 1, 900 * GB]
+    bases = plan_virtual_layout(sizes)
+    for (base, size), next_base in zip(zip(bases, sizes), bases[1:]):
+        assert next_base >= base + size + GB
+        assert next_base % GB == 0
+
+
+def test_layout_rejects_empty_region():
+    with pytest.raises(SimulationError):
+        plan_virtual_layout([0])
+
+
+def test_layout_matches_address_space(allocator):
+    """The contract: generator layout == AddressSpace layout."""
+    from repro.vm.address_space import AddressSpace
+    from repro.vm.superpage import BasePagePolicy
+
+    sizes = [64 * MB, 7 * GB, 3 * MB]
+    planned = plan_virtual_layout(sizes)
+    space = AddressSpace(allocator, BasePagePolicy(allocator))
+    actual = [space.allocate_region(size, "r%d" % i).base for i, size in enumerate(sizes)]
+    assert planned == actual
+
+
+def _trace(records, regions=None):
+    if regions is None:
+        regions = [RegionSpec("r", 64 * MB, REGION_SPACE_BASE)]
+    return Trace("t", records, regions)
+
+
+def test_validate_accepts_contained_trace():
+    records = [TraceRecord(REGION_SPACE_BASE + 100)]
+    assert _trace(records).validate() is not None
+
+
+def test_validate_rejects_out_of_region():
+    records = [TraceRecord(0x1000)]
+    with pytest.raises(SimulationError):
+        _trace(records).validate()
+
+
+def test_footprint_defaults_to_region_sum():
+    trace = _trace([])
+    assert trace.footprint_bytes == 64 * MB
+
+
+def test_next_same_pattern_links_streams():
+    records = [
+        TraceRecord(REGION_SPACE_BASE, pattern="a"),
+        TraceRecord(REGION_SPACE_BASE + 64),          # unlabeled
+        TraceRecord(REGION_SPACE_BASE + 128, pattern="b"),
+        TraceRecord(REGION_SPACE_BASE + 192, pattern="a"),
+        TraceRecord(REGION_SPACE_BASE + 256, pattern="b"),
+    ]
+    trace = _trace(records)
+    assert trace.next_same_pattern() == [3, -1, 4, -1, -1]
+
+
+def test_next_same_pattern_cached():
+    trace = _trace([TraceRecord(REGION_SPACE_BASE, pattern="a")])
+    assert trace.next_same_pattern() is trace.next_same_pattern()
+
+
+def test_len_and_iter():
+    records = [TraceRecord(REGION_SPACE_BASE + i * 64) for i in range(5)]
+    trace = _trace(records)
+    assert len(trace) == 5
+    assert list(trace) == records

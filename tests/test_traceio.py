@@ -1,0 +1,80 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.traceio import load_trace, save_trace
+from repro.workloads.registry import make_trace
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    original = make_trace("xsbench", length=400, seed=5)
+    path = tmp_path / "xsbench.trace"
+    written = save_trace(original, path)
+    assert written == len(original.records)
+    loaded = load_trace(path)
+    assert loaded.name == original.name
+    assert loaded.footprint_bytes == original.footprint_bytes
+    assert len(loaded.regions) == len(original.regions)
+    for loaded_region, region in zip(loaded.regions, original.regions):
+        assert (loaded_region.name, loaded_region.size, loaded_region.base) == (
+            region.name, region.size, region.base,
+        )
+        assert loaded_region.thp_eligibility == region.thp_eligibility
+    assert len(loaded.records) == len(original.records)
+    for loaded_record, record in zip(loaded.records, original.records):
+        assert loaded_record.vaddr == record.vaddr
+        assert loaded_record.is_write == record.is_write
+        assert loaded_record.gap == record.gap
+        assert loaded_record.pattern == record.pattern
+
+
+def test_loaded_trace_simulates_identically(tmp_path):
+    from repro.sim.runner import run_workload
+
+    original = make_trace("mcf", length=600, seed=2)
+    path = tmp_path / "mcf.trace"
+    save_trace(original, path)
+    loaded = load_trace(path)
+    cycles_original = run_workload(original).total_cycles
+    cycles_loaded = run_workload(loaded).total_cycles
+    assert cycles_original == cycles_loaded
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.trace"
+    path.write_text("")
+    with pytest.raises(SimulationError):
+        load_trace(path)
+
+
+def test_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("not json\n")
+    with pytest.raises(SimulationError):
+        load_trace(path)
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "vers.trace"
+    path.write_text('{"format_version": 99, "name": "x", "regions": []}\n')
+    with pytest.raises(SimulationError):
+        load_trace(path)
+
+
+def test_corrupt_record_reports_line(tmp_path):
+    original = make_trace("lsh", length=50, seed=1)
+    path = tmp_path / "lsh.trace"
+    save_trace(original, path)
+    with open(path, "a") as stream:
+        stream.write("garbage-line\n")
+    with pytest.raises(SimulationError):
+        load_trace(path)
+
+
+def test_pattern_with_commas_is_impossible_but_empty_ok(tmp_path):
+    original = make_trace("canneal", length=60, seed=1)
+    path = tmp_path / "c.trace"
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert all(record.pattern is None for record in loaded.records)

@@ -1,0 +1,121 @@
+"""Tests for the workload generators and registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import TraceBuilder
+from repro.workloads.registry import (
+    BIGDATA_WORKLOADS,
+    SMALL_WORKLOADS,
+    get_workload,
+    make_trace,
+    workload_names,
+)
+
+PAPER_WORKLOADS = {"mcf", "canneal", "lsh", "spmv", "sgms", "graph500", "xsbench", "illustris"}
+
+
+def test_registry_covers_paper_suite():
+    assert {workload.name for workload in BIGDATA_WORKLOADS} == PAPER_WORKLOADS
+
+
+def test_workload_names():
+    assert set(workload_names(bigdata_only=True)) == PAPER_WORKLOADS
+    assert len(workload_names()) == len(BIGDATA_WORKLOADS) + len(SMALL_WORKLOADS)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("dhrystone")
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_WORKLOADS))
+def test_bigdata_traces_valid_and_sized(name):
+    trace = make_trace(name, length=1500, seed=1)
+    assert len(trace) >= 1500
+    trace.validate()  # every reference inside a declared region
+    # Paper scale: hundreds of GB to TBs of (sparse) footprint.
+    assert trace.footprint_bytes >= 256 * 1024**3
+
+
+@pytest.mark.parametrize(
+    "name", [workload.name for workload in SMALL_WORKLOADS]
+)
+def test_small_traces_valid_and_small(name):
+    trace = make_trace(name, length=1000, seed=1)
+    trace.validate()
+    assert trace.footprint_bytes <= 256 * 1024**2
+
+
+def test_traces_deterministic_by_seed():
+    first = make_trace("xsbench", length=500, seed=3)
+    second = make_trace("xsbench", length=500, seed=3)
+    assert [(r.vaddr, r.is_write, r.gap, r.pattern) for r in first.records] == [
+        (r.vaddr, r.is_write, r.gap, r.pattern) for r in second.records
+    ]
+
+
+def test_traces_differ_across_seeds():
+    first = make_trace("xsbench", length=500, seed=3)
+    second = make_trace("xsbench", length=500, seed=4)
+    assert [r.vaddr for r in first.records] != [r.vaddr for r in second.records]
+
+
+def test_indirect_workloads_carry_imp_patterns():
+    for name in ("xsbench", "spmv", "graph500", "lsh", "sgms"):
+        trace = make_trace(name, length=800, seed=0)
+        assert any(record.pattern is not None for record in trace.records), name
+
+
+def test_pointer_chasers_unlabeled():
+    for name in ("mcf", "canneal", "illustris"):
+        trace = make_trace(name, length=800, seed=0)
+        assert all(record.pattern is None for record in trace.records), name
+
+
+def test_workloads_include_writes():
+    for name in ("canneal", "spmv", "sgms"):
+        trace = make_trace(name, length=800, seed=0)
+        assert any(record.is_write for record in trace.records), name
+
+
+def test_builder_region_handles():
+    builder = TraceBuilder("probe", seed=0)
+    region = builder.region("r", 1024 * 1024 * 1024)
+    assert region.at(region.size + 5) == region.base + 5  # wraps
+    address = region.random(align=64)
+    assert region.base <= address < region.base + region.size
+    assert address % 64 == 0
+    zipfed = region.zipf()
+    assert region.base <= zipfed < region.base + region.size
+
+
+def test_builder_clustered_stays_in_region():
+    builder = TraceBuilder("probe", seed=0)
+    region = builder.region("r", 8 * 1024 * 1024 * 1024)
+    for _ in range(500):
+        address = region.clustered(hot_chunks=64, tail=0.2)
+        assert region.base <= address < region.base + region.size
+
+
+def test_builder_clustered_hot_set_bounded():
+    builder = TraceBuilder("probe", seed=0)
+    region = builder.region("r", 64 * 1024 * 1024 * 1024)
+    chunks = {
+        region.clustered(hot_chunks=32, tail=0.0) >> 21 for _ in range(2000)
+    }
+    assert len(chunks) <= 32
+
+
+def test_builder_rejects_empty_region():
+    builder = TraceBuilder("probe", seed=0)
+    with pytest.raises(ValueError):
+        builder.region("bad", 0)
+
+
+def test_builder_gap_and_write_recorded():
+    builder = TraceBuilder("probe", seed=0)
+    region = builder.region("r", 1024 * 1024)
+    builder.write(region.base + 64, gap=9, pattern="p")
+    record = builder.build().records[0]
+    assert record.is_write and record.gap == 9 and record.pattern == "p"
