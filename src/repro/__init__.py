@@ -26,6 +26,7 @@ from repro.common.config import (
     TempoConfig,
     default_system_config,
 )
+from repro.obs import EventTracer, MetricsRegistry, RunManifest
 from repro.sim.metrics import SimulationResult
 from repro.sim.multicore import MulticoreSimulator
 from repro.sim.runner import (
@@ -43,6 +44,9 @@ __all__ = [
     "SystemConfig",
     "TempoConfig",
     "default_system_config",
+    "EventTracer",
+    "MetricsRegistry",
+    "RunManifest",
     "SimulationResult",
     "SystemSimulator",
     "MulticoreSimulator",

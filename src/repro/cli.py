@@ -5,15 +5,24 @@ Commands:
 ``list``
     Show the available workloads.
 ``run WORKLOAD``
-    Simulate one workload and print the runtime/DRAM breakdowns.
+    Simulate one workload and print the runtime/DRAM breakdowns
+    (``--stats-json`` / ``--trace-events`` export the full metrics
+    namespace and a ``chrome://tracing`` lifecycle trace).
 ``compare WORKLOAD``
     Run baseline vs. TEMPO on the same trace and print improvements.
 ``trace WORKLOAD -o FILE``
     Generate a trace file for later replay (see ``--trace`` on run).
+``stats WORKLOAD``
+    Simulate one workload and print (or export) every metric in the
+    unified namespace: per-core TLB/MMU-cache/walker/cache structures,
+    controller, DRAM banks, energy, and the run manifest.
 ``experiment FIGURE``
     Run one of the paper-figure experiment drivers (fig01, fig04,
     fig10, fig11_left, fig11_right, fig12, fig13, fig14, fig15, fig16,
     fig17) and print its table.
+``report -o FILE``
+    Run every figure driver (and optionally the ablations) and write a
+    markdown report with an embedded provenance manifest.
 """
 
 import argparse
@@ -21,6 +30,7 @@ import sys
 from dataclasses import replace
 
 from repro.common.config import default_system_config
+from repro.obs import EventTracer, write_stats_csv, write_stats_json
 from repro.sim.runner import (
     energy_fraction,
     run_baseline_and_tempo,
@@ -97,10 +107,57 @@ def _cmd_list(args, out):
     return 0
 
 
+def _export_observability(result, tracer, args, out):
+    """Write --stats-json / --trace-events artifacts when requested."""
+    if getattr(args, "stats_json", None):
+        written = write_stats_json(result.stats, args.stats_json)
+        out.write("wrote %d metrics to %s\n" % (written, args.stats_json))
+    if tracer is not None:
+        written = tracer.write_chrome_trace(args.trace_events)
+        out.write(
+            "wrote %d trace events to %s (load in chrome://tracing)\n"
+            % (written, args.trace_events)
+        )
+
+
 def _cmd_run(args, out):
     config = _build_config(args)
-    result = run_workload(_resolve_workload(args), config, length=args.length, seed=args.seed)
+    tracer = EventTracer() if args.trace_events else None
+    result = run_workload(
+        _resolve_workload(args),
+        config,
+        length=args.length,
+        seed=args.seed,
+        tracer=tracer,
+    )
     _print_result(result, out)
+    _export_observability(result, tracer, args, out)
+    return 0
+
+
+def _cmd_stats(args, out):
+    config = _build_config(args)
+    tracer = EventTracer() if args.trace_events else None
+    result = run_workload(
+        _resolve_workload(args),
+        config,
+        length=args.length,
+        seed=args.seed,
+        tracer=tracer,
+    )
+    stats = result.stats
+    if args.filter:
+        stats = {k: v for k, v in stats.items() if k.startswith(args.filter)}
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, float):
+            out.write("%s = %.6g\n" % (key, value))
+        else:
+            out.write("%s = %s\n" % (key, value))
+    if args.csv:
+        written = write_stats_csv(stats, args.csv)
+        out.write("wrote %d metrics to %s\n" % (written, args.csv))
+    _export_observability(result, tracer, args, out)
     return 0
 
 
@@ -146,7 +203,11 @@ def _cmd_experiment(args, out):
         return 2
     kwargs = {"length": args.length}
     if args.figure in ("fig11_right", "fig16", "fig17"):
-        pass  # these drivers take no workload filter
+        if args.workloads:
+            out.write(
+                "warning: %s uses a fixed workload set; ignoring --workloads %s\n"
+                % (args.figure, " ".join(args.workloads))
+            )
     elif args.workloads:
         kwargs["workloads"] = tuple(args.workloads)
     result = driver(**kwargs)
@@ -189,9 +250,33 @@ def build_parser():
         sub.add_argument("--imp", action="store_true", help="enable the IMP prefetcher")
         sub.add_argument("--memhog", type=float, help="memhog fragmentation fraction")
 
+    def add_observability(sub):
+        sub.add_argument(
+            "--stats-json",
+            metavar="FILE",
+            help="export the full metrics namespace (incl. manifest) as JSON",
+        )
+        sub.add_argument(
+            "--trace-events",
+            metavar="FILE",
+            help="record lifecycle spans and export chrome://tracing JSON",
+        )
+
     run_parser = subparsers.add_parser("run", help="simulate one workload")
     add_common(run_parser)
+    add_observability(run_parser)
     run_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="simulate one workload and dump every metric"
+    )
+    add_common(stats_parser)
+    add_observability(stats_parser)
+    stats_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
+    stats_parser.add_argument(
+        "--filter", metavar="PREFIX", help="only metrics whose key starts with PREFIX"
+    )
+    stats_parser.add_argument("--csv", metavar="FILE", help="also export metric,value CSV")
 
     compare_parser = subparsers.add_parser("compare", help="baseline vs TEMPO")
     add_common(compare_parser)
@@ -225,6 +310,7 @@ def main(argv=None, out=None):
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "stats": _cmd_stats,
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,

@@ -33,6 +33,9 @@ class Histogram:
 
     __slots__ = ("name", "buckets")
 
+    #: Percentiles exported by :meth:`StatGroup.as_dict`.
+    EXPORT_PERCENTILES = (50, 95, 99)
+
     def __init__(self, name):
         self.name = name
         self.buckets = {}
@@ -48,6 +51,28 @@ class Histogram:
         if total == 0:
             return 0.0
         return sum(key * count for key, count in self.buckets.items()) / total
+
+    def percentile(self, p):
+        """Nearest-rank percentile: the smallest recorded key at or
+        above rank ``ceil(p/100 * total)``.  Returns 0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100], got %r" % (p,))
+        total = self.total()
+        if total == 0:
+            return 0
+        rank = max(1, -(-p * total // 100))  # ceil without math import
+        cumulative = 0
+        for key in sorted(self.buckets):
+            cumulative += self.buckets[key]
+            if cumulative >= rank:
+                return key
+        return max(self.buckets)
+
+    def min(self):
+        return min(self.buckets) if self.buckets else 0
+
+    def max(self):
+        return max(self.buckets) if self.buckets else 0
 
     def reset(self):
         self.buckets.clear()
@@ -114,8 +139,8 @@ class StatGroup:
 
     def as_dict(self, prefix=None):
         """Flatten to ``{"group.counter": value}`` (histograms export
-        their totals under ``<name>.total`` and means under
-        ``<name>.mean``)."""
+        their totals under ``<name>.total``, means under ``<name>.mean``
+        and nearest-rank percentiles under ``<name>.p50`` etc.)."""
         path = self.name if prefix is None else "%s.%s" % (prefix, self.name)
         flat = {}
         for name, counter in self._counters.items():
@@ -123,6 +148,8 @@ class StatGroup:
         for name, histogram in self._histograms.items():
             flat["%s.%s.total" % (path, name)] = histogram.total()
             flat["%s.%s.mean" % (path, name)] = histogram.mean()
+            for p in Histogram.EXPORT_PERCENTILES:
+                flat["%s.%s.p%d" % (path, name, p)] = histogram.percentile(p)
         for group in self._children.values():
             flat.update(group.as_dict(prefix=path))
         return flat

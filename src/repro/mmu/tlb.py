@@ -144,6 +144,12 @@ class TlbHierarchy:
         for array in self._l2.values():
             array.flush()
 
+    def stat_groups(self):
+        """Per-array StatGroups (``l1_4k`` ... ``l2_2m``) so the metrics
+        harvest can export every array, not just the hierarchy summary."""
+        arrays = list(self._l1.values()) + list(self._l2.values())
+        return [array.stats for array in arrays]
+
     def miss_rate(self):
         """Full-hierarchy miss rate over all lookups."""
         stats = self.stats

@@ -97,11 +97,15 @@ class PageTableWalker:
         """
         result = self.page_table.walk(vaddr)
         steps = []
+        memory_steps = 0
         for level, entry_paddr in result.accesses:
             is_leaf = (not result.faulted) and level == result.leaf_level
             cached = self.mmu_caches.lookup(level, entry_paddr, is_leaf)
+            if not cached:
+                memory_steps += 1
             steps.append(WalkStep(level, entry_paddr, cached, is_leaf))
         self.stats.counter("walks").add()
+        self.stats.histogram("memory_steps_per_walk").record(memory_steps)
         if result.faulted:
             self.stats.counter("faulting_walks").add()
             return WalkPlan(vaddr, tuple(steps), None, True, result.leaf_level, False, 0)

@@ -1,0 +1,34 @@
+"""Observability: request-lifecycle tracing, unified metrics, provenance.
+
+The measurement substrate every experiment and performance PR builds on:
+
+* :class:`~repro.obs.tracer.EventTracer` -- per-reference lifecycle
+  spans (TLB lookup, MMU-cache probes, walk accesses, DRAM service,
+  replay service) with sim-time begin/end and outcome tags, exportable
+  as a ``chrome://tracing`` JSON array.
+* :class:`~repro.obs.registry.MetricsRegistry` -- walks every
+  :class:`~repro.common.stats.StatGroup` in the machine into one flat
+  dotted namespace with JSON/CSV exporters.
+* :class:`~repro.obs.manifest.RunManifest` -- config snapshot + hash,
+  seed, trace identity, package version and timings attached to every
+  :class:`~repro.sim.metrics.SimulationResult`.
+* :class:`~repro.obs.profiler.PhaseProfiler` -- wall-clock per phase and
+  records/sec throughput with a periodic progress callback.
+
+All hooks are nullable: a simulator built without a tracer or progress
+callback pays a single ``is None`` test per record.
+"""
+
+from repro.obs.manifest import RunManifest
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry, write_stats_csv, write_stats_json
+from repro.obs.tracer import EventTracer
+
+__all__ = [
+    "EventTracer",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RunManifest",
+    "write_stats_csv",
+    "write_stats_json",
+]

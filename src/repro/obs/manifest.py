@@ -1,0 +1,106 @@
+"""Run provenance: what exactly produced a result.
+
+Every :class:`~repro.sim.metrics.SimulationResult` carries a
+:class:`RunManifest` describing the run well enough to reproduce it (or
+to notice you cannot): the full config snapshot and its SHA-256 hash,
+the seed, the identity of every trace, the package version and the
+measured wall-clock timings.  ``flat()`` projects the scalar fields into
+the unified metrics namespace under ``manifest.``.
+"""
+
+import dataclasses
+import hashlib
+import json
+import platform
+
+
+def config_snapshot(config):
+    """A plain-dict snapshot of a (dataclass) SystemConfig."""
+    return dataclasses.asdict(config)
+
+
+def config_hash(config):
+    """SHA-256 over the canonical JSON of the config snapshot."""
+    canonical = json.dumps(config_snapshot(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RunManifest:
+    """Provenance record for one simulation run."""
+
+    __slots__ = (
+        "config",
+        "config_sha256",
+        "seed",
+        "num_cores",
+        "traces",
+        "warmup_records",
+        "package_version",
+        "python_version",
+        "timings",
+    )
+
+    def __init__(self, config, seed, traces, warmup_records=None, timings=None):
+        # Imported here: repro/__init__ imports the sim stack which may
+        # import us; reaching for the version lazily avoids the cycle.
+        from repro import __version__
+
+        self.config = config_snapshot(config)
+        self.config_sha256 = config_hash(config)
+        self.seed = seed
+        self.num_cores = len(traces)
+        self.traces = [
+            {
+                "name": trace.name,
+                "records": len(trace.records),
+                "footprint_bytes": trace.footprint_bytes,
+            }
+            for trace in traces
+        ]
+        self.warmup_records = warmup_records
+        self.package_version = __version__
+        self.python_version = platform.python_version()
+        #: Wall-clock phase timings + throughput, filled in by the
+        #: simulator's profiler after the run.
+        self.timings = dict(timings) if timings else {}
+
+    def as_dict(self):
+        """Full nested manifest (JSON-serialisable)."""
+        return {
+            "config": self.config,
+            "config_sha256": self.config_sha256,
+            "seed": self.seed,
+            "num_cores": self.num_cores,
+            "traces": self.traces,
+            "warmup_records": self.warmup_records,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "timings": self.timings,
+        }
+
+    def flat(self, prefix="manifest"):
+        """Scalar projection for the unified metrics namespace."""
+        flat = {
+            "%s.config_sha256" % prefix: self.config_sha256,
+            "%s.seed" % prefix: self.seed,
+            "%s.num_cores" % prefix: self.num_cores,
+            "%s.package_version" % prefix: self.package_version,
+            "%s.python_version" % prefix: self.python_version,
+            "%s.workloads" % prefix: "+".join(t["name"] for t in self.traces),
+            "%s.trace_records" % prefix: sum(t["records"] for t in self.traces),
+        }
+        if self.warmup_records is not None:
+            flat["%s.warmup_records" % prefix] = self.warmup_records
+        for name, value in self.timings.items():
+            flat["%s.timing.%s" % (prefix, name)] = value
+        return flat
+
+    def to_json(self, indent=2):
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self):
+        return "RunManifest(%s, seed=%d, cfg=%s)" % (
+            "+".join(t["name"] for t in self.traces),
+            self.seed,
+            self.config_sha256[:12],
+        )

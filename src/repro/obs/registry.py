@@ -1,0 +1,67 @@
+"""Unified metrics namespace over every StatGroup in the machine.
+
+Structures already keep their own :class:`~repro.common.stats.StatGroup`;
+historically only the controller's and the energy model's survived into
+:attr:`SimulationResult.stats`.  The registry collects *all* of them --
+each under an explicit prefix (``core0``, ``core0.tlb``, ...) -- into
+one flat ``{"dotted.path": number}`` dict, plus JSON/CSV exporters for
+that dict.
+"""
+
+import csv
+import json
+
+
+class MetricsRegistry:
+    """An ordered set of (prefix, StatGroup) registrations."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries = []
+
+    def register(self, group, prefix=None):
+        """Register *group* to be flattened under *prefix* (the group's
+        own name is always part of the key path)."""
+        self._entries.append((prefix, group))
+        return group
+
+    def register_all(self, groups, prefix=None):
+        for group in groups:
+            self.register(group, prefix)
+
+    def collect(self, into=None):
+        """Flatten every registered group into one dict.
+
+        Later registrations win on key collisions (they should not
+        happen when prefixes are chosen sanely).
+        """
+        flat = {} if into is None else into
+        for prefix, group in self._entries:
+            flat.update(group.as_dict(prefix=prefix))
+        return flat
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "MetricsRegistry(%d groups)" % len(self._entries)
+
+
+def write_stats_json(stats, path, indent=2):
+    """Write a flat stats dict as sorted JSON; returns the key count."""
+    with open(path, "w") as stream:
+        json.dump(stats, stream, indent=indent, sort_keys=True)
+        stream.write("\n")
+    return len(stats)
+
+
+def write_stats_csv(stats, path):
+    """Write a flat stats dict as ``metric,value`` CSV rows; returns the
+    key count."""
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(("metric", "value"))
+        for key in sorted(stats):
+            writer.writerow((key, stats[key]))
+    return len(stats)

@@ -1,0 +1,110 @@
+"""Structured event tracer for per-reference lifecycle spans.
+
+The simulator emits one span per lifecycle stage of a trace record
+(``record`` -> ``tlb`` / ``walk`` -> ``mmu_cache`` / ``pt_access`` ->
+``dram`` -> ``replay``), each carrying its sim-time begin/end (cycles)
+and a small tag dict (outcome, level, kind, ...).  Spans are stored as
+plain tuples so the on-path cost is one list append; everything
+presentation-related happens at export time.
+
+Export target is the Chrome trace-event format (the JSON-array flavour),
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev: cores map
+to Chrome *threads*, sim-time cycles map 1:1 onto microseconds.
+
+The tracer is *nullable by convention*: simulator hot paths hold
+``tracer = self.tracer`` locally and guard emissions with a single
+``if tracer is not None`` -- a disabled run pays only that test.
+"""
+
+import json
+
+
+class EventTracer:
+    """Records complete spans and instant events in sim time.
+
+    *limit* bounds memory on long runs: once reached, further events are
+    counted in :attr:`dropped` instead of stored (the Chrome export
+    notes the drop count in its metadata).
+    """
+
+    __slots__ = ("events", "dropped", "_limit")
+
+    #: Default cap: ~10 spans per record on a 100k-record run.
+    DEFAULT_LIMIT = 1_000_000
+
+    def __init__(self, limit=DEFAULT_LIMIT):
+        #: (name, cpu, begin, end_or_None, tags_or_None) tuples.
+        self.events = []
+        self.dropped = 0
+        self._limit = limit
+
+    def __len__(self):
+        return len(self.events)
+
+    def span(self, name, cpu, begin, end, tags=None):
+        """Record a complete span ``[begin, end]`` (cycles) on *cpu*."""
+        if self._limit is not None and len(self.events) >= self._limit:
+            self.dropped += 1
+            return
+        self.events.append((name, cpu, begin, end, tags))
+
+    def instant(self, name, cpu, ts, tags=None):
+        """Record a zero-duration marker at *ts*."""
+        self.span(name, cpu, ts, None, tags)
+
+    def clear(self):
+        self.events = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def chrome_trace(self):
+        """Return the events as a Chrome trace-event list.
+
+        Complete spans become ``ph="X"`` events with ``ts``/``dur``;
+        instants become ``ph="i"``.  One cycle is rendered as one
+        microsecond so the timeline zoom feels natural.
+        """
+        out = []
+        for name, cpu, begin, end, tags in self.events:
+            event = {
+                "name": name,
+                "pid": 0,
+                "tid": cpu,
+                "ts": begin,
+            }
+            if end is None:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = max(0, end - begin)
+            if tags:
+                event["args"] = dict(tags)
+            out.append(event)
+        if self.dropped:
+            out.append(
+                {
+                    "name": "tracer_dropped_events",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"dropped": self.dropped},
+                }
+            )
+        return out
+
+    def write_chrome_trace(self, path):
+        """Write the Chrome-trace JSON array to *path*; returns the
+        number of events written."""
+        events = self.chrome_trace()
+        with open(path, "w") as stream:
+            json.dump(events, stream)
+        return len(events)
+
+    def __repr__(self):
+        return "EventTracer(%d events, %d dropped)" % (len(self.events), self.dropped)

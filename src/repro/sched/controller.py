@@ -106,6 +106,7 @@ class MemoryController:
         self._served_counters = {}
         self._outcome_counters = {}
         self._enqueued_counters = {}
+        self._latency_hists = {}
         self._served_pt_leaf = self.stats.counter("served_pt_leaf")
 
     # ------------------------------------------------------------------
@@ -321,6 +322,13 @@ class MemoryController:
             )
             self._outcome_counters[outcome_key] = outcome_counter
         outcome_counter.value += 1
+        # Service-latency distribution per kind (enqueue -> core-visible
+        # completion); percentiles surface in the metrics export.
+        latency_hist = self._latency_hists.get(request.kind)
+        if latency_hist is None:
+            latency_hist = self.stats.histogram("latency_%s" % request.kind)
+            self._latency_hists[request.kind] = latency_hist
+        latency_hist.record(request.finish_time - request.enqueue_time)
         if request.kind == KIND_PT and request.pt_leaf:
             self._served_pt_leaf.value += 1
         self._post_service_hooks(request, end)

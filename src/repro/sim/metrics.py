@@ -189,13 +189,19 @@ class CoreResult:
 
 
 class SimulationResult:
-    """Whole-system outcome: per-core results + shared-resource totals."""
+    """Whole-system outcome: per-core results + shared-resource totals.
 
-    def __init__(self, cores, energy_total, superpage_fraction, stats=None):
+    *stats* is the unified flat metrics namespace (every StatGroup in
+    the machine plus the manifest's scalar fields); *manifest* is the
+    :class:`~repro.obs.manifest.RunManifest` provenance record.
+    """
+
+    def __init__(self, cores, energy_total, superpage_fraction, stats=None, manifest=None):
         self.cores = cores
         self.energy_total = energy_total
         self.superpage_fraction = superpage_fraction
         self.stats = stats if stats is not None else {}
+        self.manifest = manifest
 
     @property
     def total_cycles(self):

@@ -17,18 +17,35 @@ def _resolve_trace(workload, length, seed):
     return make_trace(workload, length=length, seed=seed)
 
 
-def run_workload(workload, config=None, length=20000, seed=0, max_records=None):
+def run_workload(
+    workload,
+    config=None,
+    length=20000,
+    seed=0,
+    max_records=None,
+    tracer=None,
+    progress=None,
+):
     """Simulate one workload (a name or a prebuilt Trace) on *config*.
+
+    *tracer* (a :class:`~repro.obs.EventTracer`) records lifecycle spans
+    and *progress* is called periodically with ``(records_done, total)``;
+    both default to off and cost nothing when off.
 
     Returns a :class:`~repro.sim.metrics.SimulationResult`.
     """
     if config is None:
         config = default_system_config()
     trace = _resolve_trace(workload, length, seed)
-    return SystemSimulator(config, [trace], seed=seed).run(max_records)
+    simulator = SystemSimulator(
+        config, [trace], seed=seed, tracer=tracer, progress=progress
+    )
+    return simulator.run(max_records)
 
 
-def run_baseline_and_tempo(workload, config=None, length=20000, seed=0, max_records=None):
+def run_baseline_and_tempo(
+    workload, config=None, length=20000, seed=0, max_records=None, progress=None
+):
     """Run the same trace with TEMPO off and on.
 
     Returns ``(baseline_result, tempo_result)`` -- the comparison behind
@@ -37,8 +54,12 @@ def run_baseline_and_tempo(workload, config=None, length=20000, seed=0, max_reco
     if config is None:
         config = default_system_config()
     trace = _resolve_trace(workload, length, seed)
-    baseline = SystemSimulator(config.with_tempo(False), [trace], seed=seed).run(max_records)
-    tempo = SystemSimulator(config.with_tempo(True), [trace], seed=seed).run(max_records)
+    baseline = SystemSimulator(
+        config.with_tempo(False), [trace], seed=seed, progress=progress
+    ).run(max_records)
+    tempo = SystemSimulator(
+        config.with_tempo(True), [trace], seed=seed, progress=progress
+    ).run(max_records)
     return baseline, tempo
 
 

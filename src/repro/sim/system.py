@@ -41,6 +41,9 @@ from repro.dram.energy import EnergyModel
 from repro.mmu.mmu_cache import MmuCaches
 from repro.mmu.tlb import TlbHierarchy
 from repro.mmu.walker import PageTableWalker
+from repro.obs.manifest import RunManifest
+from repro.obs.profiler import PhaseProfiler, ProgressMeter
+from repro.obs.registry import MetricsRegistry
 from repro.sched.controller import MemoryController
 from repro.sched.request import KIND_DEMAND, KIND_IMP_PREFETCH, KIND_PT, MemoryRequest
 from repro.sim.metrics import (
@@ -105,7 +108,15 @@ class SystemSimulator:
     """See module docstring.  One or more traces, one shared memory
     system."""
 
-    def __init__(self, config, traces, seed=None):
+    def __init__(
+        self,
+        config,
+        traces,
+        seed=None,
+        tracer=None,
+        progress=None,
+        progress_interval=5000,
+    ):
         if isinstance(traces, (list, tuple)):
             trace_list = list(traces)
         else:
@@ -119,6 +130,13 @@ class SystemSimulator:
             config = config.copy_with(num_cores=len(trace_list))
         self.config = config
         self.seed = seed if seed is not None else config.seed
+        #: Nullable lifecycle tracer (:class:`repro.obs.EventTracer`);
+        #: hot paths pay one ``is None`` test when it is off.
+        self.tracer = tracer
+        self._progress = progress
+        self._progress_interval = progress_interval
+        self.profiler = PhaseProfiler()
+        self.manifest = None
         rng = DeterministicRng(self.seed, "system")
 
         tempo_on = config.tempo.enabled
@@ -128,6 +146,8 @@ class SystemSimulator:
         self.engine = PrefetchEngine(config.tempo) if tempo_on else None
         self.controller = MemoryController(config, self.energy, self.engine)
         self.stats = StatGroup("system")
+        # Hot-path handle: one histogram record per page-table walk.
+        self._walk_hist = self.stats.histogram("walk_cycles")
 
         # hugetlbfs pools must be reserved before memhog fragments memory.
         self.cores = []
@@ -135,12 +155,14 @@ class SystemSimulator:
             policy = make_policy(config.vm, self.allocator, trace.footprint_bytes)
             address_space = AddressSpace(self.allocator, policy)
             self._register_regions(address_space, trace)
-            tlb = TlbHierarchy(config.tlb, "tlb.%d" % cpu)
-            mmu_caches = MmuCaches(config.mmu_cache, "mmu_cache.%d" % cpu)
+            # Plain structure names: the metrics harvest scopes each
+            # core's groups under a "core<N>" prefix.
+            tlb = TlbHierarchy(config.tlb, "tlb")
+            mmu_caches = MmuCaches(config.mmu_cache, "mmu_cache")
             walker = PageTableWalker(
                 address_space.page_table, mmu_caches, tempo_tagging=tempo_on
             )
-            imp = ImpPrefetcher(config.imp, "imp.%d" % cpu) if config.imp.enabled else None
+            imp = ImpPrefetcher(config.imp, "imp") if config.imp.enabled else None
             self.cores.append(
                 _CoreContext(cpu, trace, address_space, tlb, mmu_caches, walker, imp)
             )
@@ -191,11 +213,32 @@ class SystemSimulator:
             warmup = min(limits) // 3
         warmup = min(warmup, min(limits) - 1) if min(limits) > 0 else 0
 
+        meter = None
+        if self._progress is not None:
+            meter = ProgressMeter(
+                self._progress, sum(limits), interval=self._progress_interval
+            )
+        self.manifest = RunManifest(
+            self.config,
+            self.seed,
+            [core.trace for core in self.cores],
+            warmup_records=warmup,
+        )
+        profiler = self.profiler
         if len(self.cores) == 1:
-            self._run_single(self.cores[0], limits[0], warmup)
+            profiler.begin("warmup" if warmup > 0 else "measure")
+            self._run_single(self.cores[0], limits[0], warmup, meter)
         else:
-            self._run_interleaved(limits, warmup)
+            profiler.begin("simulate")
+            self._run_interleaved(limits, warmup, meter)
+        profiler.begin("drain")
         final_time = self.controller.drain_all()
+        profiler.end()
+        if meter is not None:
+            meter.finish()
+        self.manifest.timings = profiler.summary(
+            records=sum(core.position for core in self.cores)
+        )
         total_cycles = max(max(core.time for core in self.cores), final_time)
         return self._build_result(total_cycles)
 
@@ -207,16 +250,19 @@ class SystemSimulator:
         core.dram_refs = DramReferenceBreakdown()
         core.replay_service = ReplayServiceBreakdown()
 
-    def _run_single(self, core, limit, warmup):
+    def _run_single(self, core, limit, warmup, meter=None):
         records = core.trace.records
         while core.position < limit:
             if core.position == warmup:
                 self._reset_measurement(core)
                 self.energy.reset()
+                self.profiler.begin("measure")
             self._process_record(core, records[core.position])
             core.position += 1
+            if meter is not None:
+                meter.tick()
 
-    def _run_interleaved(self, limits, warmup):
+    def _run_interleaved(self, limits, warmup, meter=None):
         """Event-driven interleave of per-core streams.
 
         Cores advance until each blocks on a DRAM request (or runs out
@@ -263,6 +309,8 @@ class SystemSimulator:
                         event = next(events) if reply is _START else events.send(reply)
                     except StopIteration:
                         core.position += 1
+                        if meter is not None:
+                            meter.tick()
                         events = start_next(core)
                         if events is None:
                             state[cpu] = None
@@ -334,15 +382,40 @@ class SystemSimulator:
             sum(core.address_space.superpage_fraction() for core in self.cores)
             / len(self.cores)
         )
-        stats = {}
-        stats.update(self.controller.stats.as_dict())
-        stats.update(self.energy.stats.as_dict())
+        stats = self.metrics_registry().collect()
+        if self.manifest is not None:
+            stats.update(self.manifest.flat())
         return SimulationResult(
             core_results,
             self.energy.total_energy(total_cycles),
             superpage_fraction,
             stats,
+            manifest=self.manifest,
         )
+
+    def metrics_registry(self):
+        """Every StatGroup in the machine, scoped into one namespace:
+        shared structures at top level, per-core structures under
+        ``core<N>.`` prefixes."""
+        registry = MetricsRegistry()
+        registry.register(self.stats)  # system.*
+        registry.register(self.controller.stats)  # controller.*
+        registry.register(self.controller.device.stats)  # dram.bank.*
+        registry.register(self.energy.stats)  # energy.*
+        registry.register(self.hierarchy.stats)  # caches.*
+        registry.register(self.hierarchy.llc.stats)  # llc.*
+        for core in self.cores:
+            prefix = "core%d" % core.cpu
+            registry.register(core.tlb.stats, prefix)  # core<N>.tlb.*
+            registry.register_all(core.tlb.stat_groups(), "%s.tlb" % prefix)
+            registry.register(core.mmu_caches.stats, prefix)
+            registry.register(core.walker.stats, prefix)
+            registry.register(self.hierarchy.l1[core.cpu].stats, prefix)
+            registry.register(self.hierarchy.l2[core.cpu].stats, prefix)
+            if core.imp is not None:
+                registry.register(core.imp.stats, prefix)
+            registry.register(core.address_space.stats, prefix)
+        return registry
 
     # ------------------------------------------------------------------
     # Per-reference engine
@@ -377,8 +450,10 @@ class SystemSimulator:
             pass
 
     def _record_events(self, core, record):
+        tracer = self.tracer
         time = core.time + record.gap * self._nonmem_per_gap
         self._expire_pending_prefetches(core, time)
+        arrival = time
 
         vaddr = record.vaddr
         hit = core.tlb.lookup(vaddr)
@@ -387,8 +462,20 @@ class SystemSimulator:
         if hit is not None:
             frame, page_size, extra_latency = hit
             time += 1 + extra_latency
+            if tracer is not None:
+                tracer.span(
+                    "tlb_lookup",
+                    core.cpu,
+                    arrival,
+                    time,
+                    {"outcome": "l1" if extra_latency == 0 else "l2"},
+                )
         else:
             walked = True
+            if tracer is not None:
+                tracer.span(
+                    "tlb_lookup", core.cpu, arrival, arrival + 1, {"outcome": "miss"}
+                )
             time, frame, page_size, leaf_pt_request = yield from self._walk(
                 core, vaddr, time
             )
@@ -405,6 +492,18 @@ class SystemSimulator:
         if core.imp is not None:
             yield from self._imp_trigger(core, record, time)
 
+        if tracer is not None:
+            tracer.span(
+                "record",
+                core.cpu,
+                arrival,
+                time,
+                {
+                    "vaddr": "0x%x" % vaddr,
+                    "walked": walked,
+                    "write": record.is_write,
+                },
+            )
         core.time = time
 
     # -- translation ----------------------------------------------------
@@ -413,6 +512,8 @@ class SystemSimulator:
         """Execute a page-table walk; returns
         ``(time, frame, page_size, leaf_pt_request_or_None)`` where the
         request is non-None only when the leaf access reached DRAM."""
+        tracer = self.tracer
+        begin = time
         time += 1  # TLB probe that missed
         plan = core.walker.plan(vaddr)
         if plan.faulted:
@@ -425,6 +526,14 @@ class SystemSimulator:
         leaf_pt_request = None
         for step in plan.steps:
             if step.from_mmu_cache:
+                if tracer is not None:
+                    tracer.span(
+                        "mmu_cache",
+                        core.cpu,
+                        time,
+                        time + self._mmu_latency,
+                        {"level": step.level},
+                    )
                 time += self._mmu_latency
                 continue
             time, dram_request = yield from self._fetch_pt_entry(core, plan, step, time)
@@ -436,13 +545,36 @@ class SystemSimulator:
         page_size = plan.entry.page_size
         core.tlb.fill(vaddr, frame, page_size)
         time += self._tlb_fill_latency
+        self._walk_hist.record(time - begin)
+        if tracer is not None:
+            tracer.span(
+                "walk",
+                core.cpu,
+                begin,
+                time,
+                {
+                    "levels": len(plan.steps),
+                    "leaf_dram": leaf_pt_request is not None,
+                    "page_size": page_size,
+                },
+            )
         return time, frame, page_size, leaf_pt_request
 
     def _fetch_pt_entry(self, core, plan, step, time):
         """One walk memory reference through caches (and maybe DRAM)."""
+        tracer = self.tracer
+        begin = time
         result = self.hierarchy.access(core.cpu, step.entry_paddr)
         time += result.latency
         if not result.needs_dram:
+            if tracer is not None:
+                tracer.span(
+                    "pt_access",
+                    core.cpu,
+                    begin,
+                    time,
+                    {"level": step.level, "hit": result.hit_level},
+                )
             return time, None
         request = MemoryRequest(
             cache_line_base(step.entry_paddr),
@@ -464,12 +596,30 @@ class SystemSimulator:
             self.stats.histogram("ptw_dram_upper_level").record(step.level)
         self.hierarchy.fill_from_memory(core.cpu, step.entry_paddr)
         self.energy.record_llc_fill()
+        if tracer is not None:
+            tracer.span(
+                "pt_access",
+                core.cpu,
+                begin,
+                finish,
+                {"level": step.level, "hit": "dram"},
+            )
+            tracer.span(
+                "dram",
+                core.cpu,
+                time,
+                finish,
+                {"kind": "pt", "leaf": step.is_leaf, "outcome": request.outcome},
+            )
         return finish, request
 
     # -- post-translation access -----------------------------------------
 
     def _post_translation(self, core, record, paddr, time, walked, leaf_pt_request):
         """The replay (after a walk) or regular (after a TLB hit) access."""
+        tracer = self.tracer
+        begin = time
+        span_name = "replay" if walked else "access"
         tempo_active = self.engine is not None and leaf_pt_request is not None
         outcome = None
         if tempo_active:
@@ -489,6 +639,14 @@ class SystemSimulator:
                 self.energy.record_llc_fill()
                 probe = self.hierarchy.access(core.cpu, paddr, record.is_write)
                 core.replay_service.llc += 1
+                if tracer is not None:
+                    tracer.span(
+                        span_name,
+                        core.cpu,
+                        begin,
+                        time + probe.latency,
+                        {"service": "llc_prefetch"},
+                    )
                 return time + probe.latency
 
         # Wait out any in-flight IMP prefetch covering this line (MSHR merge).
@@ -503,6 +661,10 @@ class SystemSimulator:
             if tempo_active:
                 # Served on-chip anyway; count with the LLC bucket.
                 core.replay_service.llc += 1
+            if tracer is not None:
+                tracer.span(
+                    span_name, core.cpu, begin, time, {"service": result.hit_level}
+                )
             return time
 
         if tempo_active and outcome is None:
@@ -517,6 +679,7 @@ class SystemSimulator:
         self.hierarchy.fill_from_memory(core.cpu, paddr, record.is_write)
         self.energy.record_llc_fill()
 
+        service = "dram"
         if walked:
             core.runtime.dram_replay_cycles += dram_cycles
             core.dram_refs.replay += 1
@@ -530,11 +693,22 @@ class SystemSimulator:
                 )
                 if row_prefetched and request.outcome == "hit":
                     core.replay_service.row_buffer += 1
+                    service = "row_buffer"
                 else:
                     core.replay_service.unaided += 1
+                    service = "unaided"
         else:
             core.runtime.dram_other_cycles += dram_cycles
             core.dram_refs.other += 1
+        if tracer is not None:
+            tracer.span(
+                "dram",
+                core.cpu,
+                finish - dram_cycles,
+                finish,
+                {"kind": "demand", "outcome": request.outcome},
+            )
+            tracer.span(span_name, core.cpu, begin, finish, {"service": service})
         return finish
 
     # -- IMP prefetching ---------------------------------------------------

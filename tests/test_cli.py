@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -56,6 +57,59 @@ def test_trace_generate_and_replay(tmp_path):
     code, output = run_cli("run", "--trace", path, "--length", "500")
     assert code == 0
     assert "lsh" in output
+
+
+def test_run_stats_json_round_trip(tmp_path):
+    path = str(tmp_path / "stats.json")
+    code, output = run_cli("run", "mcf", "--length", "800", "--stats-json", path)
+    assert code == 0
+    assert "wrote" in output
+    stats = json.load(open(path))
+    assert any("tlb." in key for key in stats)
+    assert any(key.startswith("controller.") for key in stats)
+    assert any(key.startswith("manifest.") for key in stats)
+    assert stats["manifest.workloads"] == "mcf"
+
+
+def test_run_trace_events_chrome_format(tmp_path):
+    path = str(tmp_path / "trace.json")
+    code, output = run_cli("run", "mcf", "--length", "400", "--trace-events", path)
+    assert code == 0
+    events = json.load(open(path))
+    assert isinstance(events, list) and events
+    spans = [event for event in events if event.get("ph") == "X"]
+    assert spans
+    assert all("ts" in event and "dur" in event for event in spans)
+
+
+def test_stats_command_prints_namespace(tmp_path):
+    code, output = run_cli("stats", "mcf", "--length", "400")
+    assert code == 0
+    assert "controller." in output
+    assert "manifest.config_sha256" in output
+    code, filtered = run_cli("stats", "mcf", "--length", "400", "--filter", "core0.tlb")
+    assert code == 0
+    assert filtered.strip()
+    assert all(
+        line.startswith("core0.tlb") for line in filtered.strip().splitlines()
+    )
+
+
+def test_stats_command_csv_export(tmp_path):
+    path = str(tmp_path / "stats.csv")
+    code, output = run_cli("stats", "mcf", "--length", "400", "--csv", path)
+    assert code == 0
+    lines = open(path).read().splitlines()
+    assert lines[0] == "metric,value"
+    assert len(lines) > 10
+
+
+def test_experiment_fixed_set_warns_on_workloads_filter():
+    code, output = run_cli(
+        "experiment", "fig17", "--length", "200", "--workloads", "xsbench"
+    )
+    assert code == 0
+    assert "ignoring --workloads" in output
 
 
 def test_experiment_driver_runs():

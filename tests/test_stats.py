@@ -25,6 +25,46 @@ def test_histogram_empty_mean_is_zero():
     assert Histogram("empty").mean() == 0.0
 
 
+def test_histogram_percentile_nearest_rank():
+    histogram = Histogram("lat")
+    for value in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+        histogram.record(value)
+    assert histogram.percentile(50) == 50
+    assert histogram.percentile(95) == 100
+    assert histogram.percentile(99) == 100
+    assert histogram.percentile(0) == 10
+    assert histogram.percentile(100) == 100
+
+
+def test_histogram_percentile_weighted_buckets():
+    histogram = Histogram("lat")
+    histogram.record(5, 98)
+    histogram.record(500, 2)
+    assert histogram.percentile(50) == 5
+    assert histogram.percentile(95) == 5
+    assert histogram.percentile(99) == 500
+
+
+def test_histogram_percentile_empty_and_bounds():
+    import pytest
+
+    empty = Histogram("empty")
+    assert empty.percentile(99) == 0
+    with pytest.raises(ValueError):
+        empty.percentile(101)
+    with pytest.raises(ValueError):
+        empty.percentile(-1)
+
+
+def test_histogram_min_max():
+    histogram = Histogram("lat")
+    assert histogram.min() == 0 and histogram.max() == 0
+    histogram.record(7)
+    histogram.record(3)
+    assert histogram.min() == 3
+    assert histogram.max() == 7
+
+
 def test_stat_group_creates_counters_on_demand():
     group = StatGroup("tlb")
     group.counter("hits").add()
@@ -53,6 +93,19 @@ def test_stat_group_histogram_export():
     flat = group.as_dict()
     assert flat["g.lat.total"] == 1
     assert flat["g.lat.mean"] == 100.0
+
+
+def test_stat_group_exports_histogram_percentiles():
+    group = StatGroup("g")
+    histogram = group.histogram("lat")
+    histogram.record(10, 99)
+    histogram.record(1000, 1)
+    flat = group.as_dict()
+    assert flat["g.lat.p50"] == 10
+    assert flat["g.lat.p95"] == 10
+    assert flat["g.lat.p99"] == 10
+    histogram.record(1000, 50)
+    assert group.as_dict()["g.lat.p95"] == 1000
 
 
 def test_stat_group_reset_recurses():
