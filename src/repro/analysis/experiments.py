@@ -4,16 +4,25 @@ Every driver returns a dict with a ``rows`` list (one entry per bar /
 point / series element in the paper's figure) plus metadata.  Drivers
 take ``length`` (trace records per workload) so benchmarks can trade
 fidelity for speed; the EXPERIMENTS.md numbers use the defaults.
+
+Execution model: each driver decomposes into independent simulation
+cells (:class:`~repro.exec.SimCell`) and submits them in one batch to an
+:class:`~repro.exec.ExperimentExecutor`, which fans them out across
+worker processes and/or serves them from the content-addressed cache,
+then hands results back in submission order.  Pass ``executor=`` to
+share one executor (and its memo/cache) across drivers -- the report
+generator does, so overlapping figures never simulate the same cell
+twice.  Without one, a private serial executor is used and results are
+bit-identical to the historical direct-call implementation.
 """
 
 from dataclasses import replace
 
 from repro.common.config import default_system_config
+from repro.exec import ExperimentExecutor, SimCell
 from repro.sim.metrics import energy_improvement, performance_improvement
-from repro.sim.multicore import MulticoreSimulator
-from repro.sim.runner import run_baseline_and_tempo, run_workload
-from repro.sim.system import SystemSimulator
-from repro.workloads.registry import BIGDATA_WORKLOADS, SMALL_WORKLOADS, make_trace
+from repro.sim.multicore import MultiprogramResult
+from repro.workloads.registry import BIGDATA_WORKLOADS, SMALL_WORKLOADS
 
 BIGDATA_NAMES = tuple(workload.name for workload in BIGDATA_WORKLOADS)
 SMALL_NAMES = tuple(workload.name for workload in SMALL_WORKLOADS)
@@ -39,17 +48,46 @@ def _bigdata_subset(workloads):
     return BIGDATA_NAMES if workloads is None else tuple(workloads)
 
 
+def _get_executor(executor):
+    return executor if executor is not None else ExperimentExecutor()
+
+
+class _CellBatch:
+    """Collects a driver's cells, then resolves them all in one batch.
+
+    ``add`` returns the cell's index; after ``run`` the results list is
+    indexed the same way.  Submitting one batch (instead of one cell at
+    a time) is what lets a multi-worker executor overlap everything the
+    driver needs.
+    """
+
+    def __init__(self, executor, length, seed):
+        self.executor = executor
+        self.length = length
+        self.seed = seed
+        self.cells = []
+
+    def add(self, workloads, config):
+        self.cells.append(SimCell(workloads, config, self.length, self.seed))
+        return len(self.cells) - 1
+
+    def run(self):
+        return self.executor.run_cells(self.cells)
+
+
 # ----------------------------------------------------------------------
 # E1 / Figure 1 -- runtime breakdown
 # ----------------------------------------------------------------------
 
-def fig01_runtime_breakdown(workloads=None, length=24000, seed=0):
+def fig01_runtime_breakdown(workloads=None, length=24000, seed=0, executor=None):
     """Fraction of runtime in DRAM-PTW / DRAM-Replay / DRAM-Other."""
+    names = _bigdata_subset(workloads)
+    config = default_system_config().with_tempo(False)
+    results = _get_executor(executor).run_cells(
+        SimCell(name, config, length, seed) for name in names
+    )
     rows = []
-    for name in _bigdata_subset(workloads):
-        result = run_workload(
-            name, default_system_config().with_tempo(False), length=length, seed=seed
-        )
+    for name, result in zip(names, results):
         runtime = result.core.runtime
         rows.append(
             {
@@ -66,13 +104,15 @@ def fig01_runtime_breakdown(workloads=None, length=24000, seed=0):
 # E4 / Figure 4 -- DRAM reference breakdown
 # ----------------------------------------------------------------------
 
-def fig04_dram_reference_breakdown(workloads=None, length=24000, seed=0):
+def fig04_dram_reference_breakdown(workloads=None, length=24000, seed=0, executor=None):
     """DRAM *reference* fractions plus the leaf-PT and follow rates."""
+    names = _bigdata_subset(workloads)
+    config = default_system_config().with_tempo(False)
+    results = _get_executor(executor).run_cells(
+        SimCell(name, config, length, seed) for name in names
+    )
     rows = []
-    for name in _bigdata_subset(workloads):
-        result = run_workload(
-            name, default_system_config().with_tempo(False), length=length, seed=seed
-        )
+    for name, result in zip(names, results):
         refs = result.core.dram_refs
         rows.append(
             {
@@ -91,10 +131,18 @@ def fig04_dram_reference_breakdown(workloads=None, length=24000, seed=0):
 # E10 / Figure 10 -- headline performance + energy + superpage coverage
 # ----------------------------------------------------------------------
 
-def fig10_performance_energy(workloads=None, length=24000, seed=0):
+def fig10_performance_energy(workloads=None, length=24000, seed=0, executor=None):
+    names = _bigdata_subset(workloads)
+    config = default_system_config()
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    pairs = [
+        (batch.add(name, config.with_tempo(False)), batch.add(name, config.with_tempo(True)))
+        for name in names
+    ]
+    results = batch.run()
     rows = []
-    for name in _bigdata_subset(workloads):
-        baseline, tempo = run_baseline_and_tempo(name, length=length, seed=seed)
+    for name, (base_index, tempo_index) in zip(names, pairs):
+        baseline, tempo = results[base_index], results[tempo_index]
         rows.append(
             {
                 "workload": name,
@@ -114,12 +162,14 @@ def fig10_performance_energy(workloads=None, length=24000, seed=0):
 # E11 left / Figure 11 left -- replay service breakdown under TEMPO
 # ----------------------------------------------------------------------
 
-def fig11_replay_service(workloads=None, length=24000, seed=0):
+def fig11_replay_service(workloads=None, length=24000, seed=0, executor=None):
+    names = _bigdata_subset(workloads)
+    config = default_system_config().with_tempo(True)
+    results = _get_executor(executor).run_cells(
+        SimCell(name, config, length, seed) for name in names
+    )
     rows = []
-    for name in _bigdata_subset(workloads):
-        result = run_workload(
-            name, default_system_config().with_tempo(True), length=length, seed=seed
-        )
+    for name, result in zip(names, results):
         service = result.core.replay_service
         rows.append(
             {
@@ -136,23 +186,36 @@ def fig11_replay_service(workloads=None, length=24000, seed=0):
 # E11 right / Figure 11 right -- small-footprint do-no-harm
 # ----------------------------------------------------------------------
 
-def fig11_small_footprint(length=16000, seed=0):
-    rows = []
+def fig11_small_footprint(length=16000, seed=0, executor=None):
+    config = default_system_config()
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
     for group, names in (("bigdata", BIGDATA_NAMES), ("small", SMALL_NAMES)):
         for name in names:
-            baseline, tempo = run_baseline_and_tempo(name, length=length, seed=seed)
-            rows.append(
-                {
-                    "workload": name,
-                    "group": group,
-                    "performance_improvement": performance_improvement(
-                        baseline.total_cycles, tempo.total_cycles
-                    ),
-                    "energy_improvement": energy_improvement(
-                        baseline.energy_total, tempo.energy_total
-                    ),
-                }
+            plan.append(
+                (
+                    group,
+                    name,
+                    batch.add(name, config.with_tempo(False)),
+                    batch.add(name, config.with_tempo(True)),
+                )
             )
+    results = batch.run()
+    rows = []
+    for group, name, base_index, tempo_index in plan:
+        baseline, tempo = results[base_index], results[tempo_index]
+        rows.append(
+            {
+                "workload": name,
+                "group": group,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+                "energy_improvement": energy_improvement(
+                    baseline.energy_total, tempo.energy_total
+                ),
+            }
+        )
     return {"figure": "fig11_right", "rows": rows}
 
 
@@ -160,15 +223,26 @@ def fig11_small_footprint(length=16000, seed=0):
 # E12 / Figure 12 -- interaction with IMP prefetching
 # ----------------------------------------------------------------------
 
-def fig12_imp_interaction(workloads=None, length=24000, seed=0):
-    rows = []
-    for name in _bigdata_subset(workloads):
-        config = default_system_config()
-        imp_config = config.copy_with(imp=replace(config.imp, enabled=True))
-        baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
-        baseline_imp, tempo_imp = run_baseline_and_tempo(
-            name, imp_config, length=length, seed=seed
+def fig12_imp_interaction(workloads=None, length=24000, seed=0, executor=None):
+    names = _bigdata_subset(workloads)
+    config = default_system_config()
+    imp_config = config.copy_with(imp=replace(config.imp, enabled=True))
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = [
+        (
+            name,
+            batch.add(name, config.with_tempo(False)),
+            batch.add(name, config.with_tempo(True)),
+            batch.add(name, imp_config.with_tempo(False)),
+            batch.add(name, imp_config.with_tempo(True)),
         )
+        for name in names
+    ]
+    results = batch.run()
+    rows = []
+    for name, base_i, tempo_i, base_imp_i, tempo_imp_i in plan:
+        baseline, tempo = results[base_i], results[tempo_i]
+        baseline_imp, tempo_imp = results[base_imp_i], results[tempo_imp_i]
         rows.append(
             {
                 "workload": name,
@@ -207,23 +281,35 @@ def _vm_variants():
     )
 
 
-def fig13_superpage_sensitivity(workloads=None, length=16000, seed=0):
+def fig13_superpage_sensitivity(workloads=None, length=16000, seed=0, executor=None):
     names = _bigdata_subset(workloads)
-    rows = []
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
     for name in names:
         for label, vm_config in _vm_variants():
             config = default_system_config().copy_with(vm=vm_config)
-            baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
-            rows.append(
-                {
-                    "workload": name,
-                    "variant": label,
-                    "superpage_fraction": baseline.superpage_fraction,
-                    "performance_improvement": performance_improvement(
-                        baseline.total_cycles, tempo.total_cycles
-                    ),
-                }
+            plan.append(
+                (
+                    name,
+                    label,
+                    batch.add(name, config.with_tempo(False)),
+                    batch.add(name, config.with_tempo(True)),
+                )
             )
+    results = batch.run()
+    rows = []
+    for name, label, base_index, tempo_index in plan:
+        baseline, tempo = results[base_index], results[tempo_index]
+        rows.append(
+            {
+                "workload": name,
+                "variant": label,
+                "superpage_fraction": baseline.superpage_fraction,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+            }
+        )
     return {"figure": "fig13", "rows": rows}
 
 
@@ -231,22 +317,35 @@ def fig13_superpage_sensitivity(workloads=None, length=16000, seed=0):
 # E14 / Figure 14 -- row-buffer management policies
 # ----------------------------------------------------------------------
 
-def fig14_row_policies(workloads=None, length=24000, seed=0):
-    rows = []
-    for name in _bigdata_subset(workloads):
+def fig14_row_policies(workloads=None, length=24000, seed=0, executor=None):
+    names = _bigdata_subset(workloads)
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
+    for name in names:
         for policy in ("adaptive", "open", "closed"):
             config = default_system_config()
             config = config.copy_with(row_policy=replace(config.row_policy, policy=policy))
-            baseline, tempo = run_baseline_and_tempo(name, config, length=length, seed=seed)
-            rows.append(
-                {
-                    "workload": name,
-                    "policy": policy,
-                    "performance_improvement": performance_improvement(
-                        baseline.total_cycles, tempo.total_cycles
-                    ),
-                }
+            plan.append(
+                (
+                    name,
+                    policy,
+                    batch.add(name, config.with_tempo(False)),
+                    batch.add(name, config.with_tempo(True)),
+                )
             )
+    results = batch.run()
+    rows = []
+    for name, policy, base_index, tempo_index in plan:
+        baseline, tempo = results[base_index], results[tempo_index]
+        rows.append(
+            {
+                "workload": name,
+                "policy": policy,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+            }
+        )
     return {"figure": "fig14", "rows": rows}
 
 
@@ -254,38 +353,41 @@ def fig14_row_policies(workloads=None, length=24000, seed=0):
 # E15 / Figure 15 -- anticipation wait-cycle sweep
 # ----------------------------------------------------------------------
 
-def fig15_wait_cycles(workloads=None, length=24000, seed=0, waits=(0, 5, 10, 15)):
+def fig15_wait_cycles(workloads=None, length=24000, seed=0, waits=(0, 5, 10, 15),
+                      executor=None):
     """Besides end-to-end improvement, report the *mechanism* metric the
     wait window targets: the row-buffer hit rate of DRAM page-table
     accesses (keeping a just-read PT row open lets queued translations
     to the same row hit)."""
-    rows = []
-    for name in _bigdata_subset(workloads):
-        trace = make_trace(name, length=length, seed=seed)
-        baseline = SystemSimulator(
-            default_system_config().with_tempo(False), [trace], seed=seed
-        ).run()
+    names = _bigdata_subset(workloads)
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
+    for name in names:
+        base_index = batch.add(name, default_system_config().with_tempo(False))
         for wait in waits:
             config = default_system_config().with_tempo(True, wait_cycles=wait)
-            simulator = SystemSimulator(config, [trace], seed=seed)
-            tempo = simulator.run()
-            stats = simulator.controller.stats.as_dict()
-            pt_hits = stats.get("controller.outcome_pt_hit", 0)
-            pt_total = (
-                pt_hits
-                + stats.get("controller.outcome_pt_miss", 0)
-                + stats.get("controller.outcome_pt_conflict", 0)
-            )
-            rows.append(
-                {
-                    "workload": name,
-                    "wait_cycles": wait,
-                    "performance_improvement": performance_improvement(
-                        baseline.total_cycles, tempo.total_cycles
-                    ),
-                    "pt_row_hit_rate": pt_hits / pt_total if pt_total else 0.0,
-                }
-            )
+            plan.append((name, wait, base_index, batch.add(name, config)))
+    results = batch.run()
+    rows = []
+    for name, wait, base_index, tempo_index in plan:
+        baseline, tempo = results[base_index], results[tempo_index]
+        stats = tempo.stats
+        pt_hits = stats.get("controller.outcome_pt_hit", 0)
+        pt_total = (
+            pt_hits
+            + stats.get("controller.outcome_pt_miss", 0)
+            + stats.get("controller.outcome_pt_conflict", 0)
+        )
+        rows.append(
+            {
+                "workload": name,
+                "wait_cycles": wait,
+                "performance_improvement": performance_improvement(
+                    baseline.total_cycles, tempo.total_cycles
+                ),
+                "pt_row_hit_rate": pt_hits / pt_total if pt_total else 0.0,
+            }
+        )
     return {"figure": "fig15", "rows": rows}
 
 
@@ -302,31 +404,54 @@ def _bliss_config(prefetch_increment=1, grace=15, tempo=True):
     return config.with_tempo(tempo, grace_period_cycles=grace) if tempo else config.with_tempo(False)
 
 
-def _run_mix(mix, config, length, seed, alone_results=None):
-    traces = [make_trace(name, length=length, seed=seed) for name in mix]
-    simulator = MulticoreSimulator(config, traces, seed=seed)
-    return simulator.run(alone_results=alone_results)
+def _add_mix(batch, mix, config):
+    """Queue a mix's shared run plus its per-application alone runs;
+    returns the indices needed to assemble a MultiprogramResult."""
+    shared_index = batch.add(mix, config)
+    alone_indices = [batch.add(name, config) for name in mix]
+    return shared_index, alone_indices
+
+
+def _mix_result(results, shared_index, alone_indices):
+    return MultiprogramResult(
+        results[shared_index], [results[index] for index in alone_indices]
+    )
 
 
 def fig16_bliss(mixes=None, length=6000, seed=0,
-                prefetch_weights=(0, 1, 2), grace_periods=(0, 15, 30)):
+                prefetch_weights=(0, 1, 2), grace_periods=(0, 15, 30),
+                executor=None):
     """Weighted speedup + max slowdown vs prefetch weight and grace
     period, averaged over the mixes (paper averages over its mixes too).
 
     Prefetch weights are BLISS counter increments relative to the demand
     increment of 2 -- i.e. 0, half, and equal weight.
+
+    The alone baselines do not depend on the swept sharing parameters,
+    so each mix's alone runs are simulated once (under the TEMPO-off
+    base config) and reused across the whole sweep.
     """
     mixes = MULTIPROGRAM_MIXES if mixes is None else tuple(mixes)
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
+    for mix in mixes:
+        base_shared, alone = _add_mix(batch, mix, _bliss_config(tempo=False))
+        weight_runs = [
+            (weight, batch.add(mix, _bliss_config(prefetch_increment=weight, grace=15)))
+            for weight in prefetch_weights
+        ]
+        grace_runs = [
+            (grace, batch.add(mix, _bliss_config(prefetch_increment=1, grace=grace)))
+            for grace in grace_periods
+        ]
+        plan.append((mix, base_shared, alone, weight_runs, grace_runs))
+    results = batch.run()
     weight_rows = []
     grace_rows = []
-    for mix in mixes:
-        base_result = _run_mix(mix, _bliss_config(tempo=False), length, seed)
-        # Alone runs do not depend on the swept sharing parameters;
-        # reuse the baseline's across the sweep.
-        alone = base_result.alone
-        for weight in prefetch_weights:
-            config = _bliss_config(prefetch_increment=weight, grace=15)
-            result = _run_mix(mix, config, length, seed, alone_results=alone)
+    for mix, base_shared, alone, weight_runs, grace_runs in plan:
+        base_result = _mix_result(results, base_shared, alone)
+        for weight, shared_index in weight_runs:
+            result = _mix_result(results, shared_index, alone)
             weight_rows.append(
                 {
                     "mix": "+".join(mix),
@@ -337,9 +462,8 @@ def fig16_bliss(mixes=None, length=6000, seed=0,
                     / base_result.max_slowdown,
                 }
             )
-        for grace in grace_periods:
-            config = _bliss_config(prefetch_increment=1, grace=grace)
-            result = _run_mix(mix, config, length, seed, alone_results=alone)
+        for grace, shared_index in grace_runs:
+            result = _mix_result(results, shared_index, alone)
             grace_rows.append(
                 {
                     "mix": "+".join(mix),
@@ -367,25 +491,35 @@ def _subrow_config(allocation, dedicated, tempo):
     return config.with_tempo(tempo)
 
 
-def fig17_subrows(mixes=None, length=6000, seed=0, dedicated_options=(0, 1, 2, 4)):
+def fig17_subrows(mixes=None, length=6000, seed=0, dedicated_options=(0, 1, 2, 4),
+                  executor=None):
     """FOA/POA sub-row allocation with swept prefetch-dedicated slots."""
     mixes = SUBROW_MIXES if mixes is None else tuple(mixes)
-    rows = []
+    batch = _CellBatch(_get_executor(executor), length, seed)
+    plan = []
     for allocation in ("foa", "poa"):
         for mix in mixes:
-            base_result = _run_mix(mix, _subrow_config(allocation, 0, False), length, seed)
-            for dedicated in dedicated_options:
-                config = _subrow_config(allocation, dedicated, True)
-                result = _run_mix(mix, config, length, seed)
-                rows.append(
-                    {
-                        "allocation": allocation,
-                        "mix": "+".join(mix),
-                        "dedicated_subrows": dedicated,
-                        "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
-                        / base_result.weighted_speedup,
-                        "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
-                        / base_result.max_slowdown,
-                    }
-                )
+            base = _add_mix(batch, mix, _subrow_config(allocation, 0, False))
+            sweeps = [
+                (dedicated, _add_mix(batch, mix, _subrow_config(allocation, dedicated, True)))
+                for dedicated in dedicated_options
+            ]
+            plan.append((allocation, mix, base, sweeps))
+    results = batch.run()
+    rows = []
+    for allocation, mix, (base_shared, base_alone), sweeps in plan:
+        base_result = _mix_result(results, base_shared, base_alone)
+        for dedicated, (shared_index, alone_indices) in sweeps:
+            result = _mix_result(results, shared_index, alone_indices)
+            rows.append(
+                {
+                    "allocation": allocation,
+                    "mix": "+".join(mix),
+                    "dedicated_subrows": dedicated,
+                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
+                    / base_result.weighted_speedup,
+                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
+                    / base_result.max_slowdown,
+                }
+            )
     return {"figure": "fig17", "rows": rows}

@@ -19,10 +19,15 @@ Commands:
 ``experiment FIGURE``
     Run one of the paper-figure experiment drivers (fig01, fig04,
     fig10, fig11_left, fig11_right, fig12, fig13, fig14, fig15, fig16,
-    fig17) and print its table.
+    fig17) and print its table.  ``--jobs N`` fans the driver's
+    simulation cells across N worker processes; results are served from
+    (and persisted to) a content-addressed cache unless ``--no-cache``.
 ``report -o FILE``
     Run every figure driver (and optionally the ablations) and write a
-    markdown report with an embedded provenance manifest.
+    markdown report with an embedded provenance manifest.  One executor
+    is shared across all sections, so overlapping figures never
+    simulate the same cell twice; ``--jobs`` / ``--no-cache`` /
+    ``--cache-dir`` work as for ``experiment``.
 """
 
 import argparse
@@ -63,6 +68,16 @@ def _build_config(args):
         config = config.with_tempo(False)
     config.validate()
     return config
+
+
+def _build_executor(args):
+    """Executor for the experiment/report commands from their flags."""
+    from repro.exec import ExperimentExecutor, ResultCache, default_cache_dir
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return ExperimentExecutor(jobs=args.jobs, cache=cache)
 
 
 def _resolve_workload(args):
@@ -210,9 +225,11 @@ def _cmd_experiment(args, out):
             )
     elif args.workloads:
         kwargs["workloads"] = tuple(args.workloads)
-    result = driver(**kwargs)
+    executor = _build_executor(args)
+    result = driver(executor=executor, **kwargs)
     out.write(render_experiment(result))
     out.write("\n")
+    out.write(executor.summary() + "\n")
     return 0
 
 
@@ -222,9 +239,14 @@ def _cmd_report(args, out):
     def progress(message):
         out.write(message + "\n")
 
+    executor = _build_executor(args)
     path = write_report(
-        args.output, include_ablations=not args.no_ablations, progress=progress
+        args.output,
+        include_ablations=not args.no_ablations,
+        progress=progress,
+        executor=executor,
     )
+    out.write(executor.summary() + "\n")
     out.write("report written to %s\n" % path)
     return 0
 
@@ -287,12 +309,32 @@ def build_parser():
     trace_parser.add_argument("--length", type=int, default=12000)
     trace_parser.add_argument("--seed", type=int, default=0)
 
+    def add_executor_flags(sub):
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for independent simulation cells (default: 1)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the content-addressed result/trace cache",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-tempo)",
+        )
+
     experiment_parser = subparsers.add_parser(
         "experiment", help="run a paper-figure experiment driver"
     )
     experiment_parser.add_argument("figure")
     experiment_parser.add_argument("--length", type=int, default=8000)
     experiment_parser.add_argument("--workloads", nargs="*", default=None)
+    add_executor_flags(experiment_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="run every figure driver and write a markdown report"
@@ -301,6 +343,7 @@ def build_parser():
     report_parser.add_argument(
         "--no-ablations", action="store_true", help="figures only (faster)"
     )
+    add_executor_flags(report_parser)
     return parser
 
 

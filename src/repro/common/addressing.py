@@ -27,6 +27,14 @@ from repro.common.errors import ConfigError
 _VA_MASK = (1 << VA_BITS) - 1
 _RADIX_MASK = PT_ENTRIES - 1
 
+#: Precomputed masks for the per-record hot paths: the cache-line mask
+#: and the per-page-size offset masks are applied millions of times per
+#: simulation, so they are built once here instead of re-deriving
+#: ``~(size - 1)`` on every call.  The simulator's fast path binds these
+#: to locals directly.
+LINE_MASK = ~(CACHE_LINE_BYTES - 1)
+PAGE_OFFSET_MASKS = {size: size - 1 for size in PAGE_SHIFTS}
+
 
 def canonical(vaddr):
     """Clamp *vaddr* to the translated 48-bit range."""
@@ -41,7 +49,8 @@ def page_base(addr, page_size=PAGE_SIZE_4K):
 
 def page_offset(addr, page_size=PAGE_SIZE_4K):
     """Return the offset of *addr* within its *page_size* page."""
-    return addr & (page_size - 1)
+    mask = PAGE_OFFSET_MASKS.get(page_size)
+    return addr & (mask if mask is not None else page_size - 1)
 
 
 def page_number(addr, page_size=PAGE_SIZE_4K):
@@ -85,7 +94,7 @@ def cache_line_id(addr):
 
 def cache_line_base(addr):
     """Base address of the cache line holding *addr*."""
-    return addr & ~(CACHE_LINE_BYTES - 1)
+    return addr & LINE_MASK
 
 
 def line_index_in_page(vaddr, page_size=PAGE_SIZE_4K):
@@ -113,4 +122,5 @@ def split_vaddr(vaddr, page_size=PAGE_SIZE_4K):
 
 def translate(vaddr, frame_base_paddr, page_size=PAGE_SIZE_4K):
     """Combine a frame base with the page offset of *vaddr*."""
-    return frame_base_paddr | page_offset(vaddr, page_size)
+    mask = PAGE_OFFSET_MASKS.get(page_size)
+    return frame_base_paddr | (vaddr & (mask if mask is not None else page_size - 1))

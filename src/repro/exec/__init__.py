@@ -1,0 +1,25 @@
+"""Parallel experiment execution with content-addressed caching.
+
+The evaluation suite decomposes every figure driver into independent
+simulation *cells*; this package schedules them -- across
+``multiprocessing`` workers, through an on-disk result/trace cache, and
+back together in driver order.  See ``docs/performance.md`` for the
+architecture and the cache-key derivation.
+"""
+
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.cells import PAYLOAD_SCHEMA, SimCell, trace_key
+from repro.exec.executor import ExperimentExecutor, simulate_cell
+from repro.exec.serialize import payload_to_result, result_to_payload
+
+__all__ = [
+    "ExperimentExecutor",
+    "PAYLOAD_SCHEMA",
+    "ResultCache",
+    "SimCell",
+    "default_cache_dir",
+    "payload_to_result",
+    "result_to_payload",
+    "simulate_cell",
+    "trace_key",
+]

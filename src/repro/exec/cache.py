@@ -1,0 +1,103 @@
+"""Content-addressed on-disk store for results and generated traces.
+
+Layout under the cache root::
+
+    results/<aa>/<key>.json    serialized SimulationResult payloads
+    traces/<aa>/<key>.trace    traceio-format generated traces
+
+``<key>`` is the SHA-256 identity from :mod:`repro.exec.cells`; ``<aa>``
+is its first two hex digits (fan-out so directories stay small).  Keys
+embed the config hash, trace identity, package version, and payload
+schema, so invalidation is purely structural: a stale entry is simply
+never addressed again.  Writes are atomic (unique temp file + rename),
+which makes concurrent writers -- pool workers or parallel CI jobs
+sharing a cache directory -- safe: last rename wins and every version is
+identical by construction.
+"""
+
+import json
+import os
+import tempfile
+
+from repro.exec.cells import trace_key
+from repro.sim.traceio import load_trace, save_trace
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-tempo``."""
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-tempo")
+
+
+def _atomic_write(path, write_fn):
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        os.close(fd)
+        write_fn(temp_path)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+class ResultCache:
+    """Persistent result + trace store, addressed by content hash."""
+
+    def __init__(self, root=None):
+        self.root = root if root is not None else default_cache_dir()
+
+    def _result_path(self, key):
+        return os.path.join(self.root, "results", key[:2], key + ".json")
+
+    def _trace_path(self, key):
+        return os.path.join(self.root, "traces", key[:2], key + ".trace")
+
+    # -- results -------------------------------------------------------
+
+    def get(self, key):
+        """Return the stored payload dict for *key*, or ``None``."""
+        path = self._result_path(key)
+        try:
+            with open(path) as stream:
+                return json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or unreadable entry is a miss, not an error.
+            return None
+
+    def put(self, key, payload):
+        """Persist *payload* (a JSON-able dict) under *key*."""
+
+        def write(temp_path):
+            with open(temp_path, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+
+        _atomic_write(self._result_path(key), write)
+
+    # -- traces --------------------------------------------------------
+
+    def get_trace(self, name, length, seed):
+        """Load a previously persisted generated trace, or ``None``."""
+        path = self._trace_path(trace_key(name, length, seed))
+        if not os.path.exists(path):
+            return None
+        try:
+            return load_trace(path)
+        except Exception:
+            return None
+
+    def put_trace(self, trace, length, seed):
+        """Persist a generated trace for later runs."""
+        _atomic_write(
+            self._trace_path(trace_key(trace.name, length, seed)),
+            lambda temp_path: save_trace(trace, temp_path),
+        )
+
+    def __repr__(self):
+        return "ResultCache(%r)" % self.root

@@ -1,0 +1,107 @@
+"""Simulation cells: the unit of work the experiment executor schedules.
+
+Every figure driver decomposes into independent *cells*.  A cell is one
+complete ``SystemSimulator`` run -- a workload mix (one name for
+single-core runs, several for multiprogrammed ones), a trace length, a
+seed, and a full :class:`~repro.common.config.SystemConfig`.  Cells are
+pure: the same cell always produces bit-identical results, which is what
+makes both the process-pool fan-out and the content-addressed cache
+sound.
+
+The cache key hashes everything a result depends on:
+
+* the config snapshot's SHA-256 (:func:`repro.obs.manifest.config_hash`,
+  the same hash the run manifest records),
+* the trace identity -- ``(workload, length, seed)`` per core; trace
+  generation is deterministic in those three,
+* the package version (generator or simulator changes invalidate
+  everything), and
+* a payload schema version for the serialized-result format itself.
+"""
+
+import hashlib
+import json
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.obs.manifest import config_hash
+
+#: Bump when the serialized result payload format changes; old cache
+#: entries become unreachable rather than misread.
+PAYLOAD_SCHEMA = 1
+
+
+def _package_version():
+    # Imported lazily: repro/__init__ pulls in the sim stack.
+    from repro import __version__
+
+    return __version__
+
+
+class SimCell:
+    """One schedulable simulation: ``(workloads, length, seed, config)``."""
+
+    __slots__ = ("workloads", "length", "seed", "config", "_key")
+
+    def __init__(self, workloads, config, length, seed=0):
+        if isinstance(workloads, str):
+            workloads = (workloads,)
+        else:
+            workloads = tuple(workloads)
+        if not workloads:
+            raise ConfigError("a cell needs at least one workload")
+        if not isinstance(config, SystemConfig):
+            raise ConfigError("cell config must be a SystemConfig")
+        # The simulator would adjust num_cores itself; normalizing here
+        # keeps the cache key canonical (a 4-core config running one
+        # trace is the same run as its 1-core projection).
+        if config.num_cores != len(workloads):
+            config = config.copy_with(num_cores=len(workloads))
+        self.workloads = workloads
+        self.config = config
+        self.length = length
+        self.seed = seed
+        self._key = None
+
+    def identity(self):
+        """The JSON-stable identity dict the cache key hashes."""
+        return {
+            "schema": PAYLOAD_SCHEMA,
+            "package_version": _package_version(),
+            "config_sha256": config_hash(self.config),
+            "traces": [
+                {"workload": name, "length": self.length, "seed": self.seed}
+                for name in self.workloads
+            ],
+            "seed": self.seed,
+        }
+
+    def key(self):
+        """Content-addressed cache key (SHA-256 hex digest)."""
+        if self._key is None:
+            canonical = json.dumps(self.identity(), sort_keys=True)
+            self._key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return self._key
+
+    def __repr__(self):
+        return "SimCell(%s, length=%d, seed=%d, cfg=%s)" % (
+            "+".join(self.workloads),
+            self.length,
+            self.seed,
+            config_hash(self.config)[:12],
+        )
+
+
+def trace_key(name, length, seed):
+    """Content address for one generated trace (generator changes are
+    covered by the package version)."""
+    canonical = json.dumps(
+        {
+            "workload": name,
+            "length": length,
+            "seed": seed,
+            "package_version": _package_version(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,153 @@
+"""The parallel experiment executor.
+
+``ExperimentExecutor.run_cells`` takes an ordered list of
+:class:`~repro.exec.cells.SimCell` and returns the matching
+:class:`~repro.sim.metrics.SimulationResult` list *in that order*, no
+matter where each result came from:
+
+1. the in-process memo (same cell earlier this invocation -- this is
+   what lets ``repro report`` never simulate a cell twice even with the
+   disk cache disabled),
+2. the content-addressed disk cache (same cell in any earlier
+   invocation on this machine), or
+3. a fresh simulation -- inline when ``jobs == 1``, fanned out across a
+   ``multiprocessing`` pool otherwise.
+
+Determinism: cells carry their own seed and every simulation derives all
+randomness from it (:mod:`repro.common.rng`), so scheduling order cannot
+leak into results -- a pool run is bit-identical to a serial run.
+"""
+
+import multiprocessing
+
+from repro.exec.cache import ResultCache
+from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
+from repro.exec.serialize import payload_to_result, result_to_payload
+
+
+def simulate_cell(cell, cache=None, trace_memo=None):
+    """Run one cell to completion and return its payload dict.
+
+    *cache* (a :class:`~repro.exec.cache.ResultCache`) supplies and
+    receives persisted traces; *trace_memo* is an optional in-process
+    ``(name, length, seed) -> Trace`` memo for serial execution.
+    """
+    # Imported here so pool workers pay the import once per process and
+    # the module stays importable without the full sim stack.
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.registry import make_trace
+
+    traces = []
+    for name in cell.workloads:
+        memo_key = (name, cell.length, cell.seed)
+        trace = trace_memo.get(memo_key) if trace_memo is not None else None
+        if trace is None and cache is not None:
+            trace = cache.get_trace(name, cell.length, cell.seed)
+        if trace is None:
+            trace = make_trace(name, length=cell.length, seed=cell.seed)
+            if cache is not None:
+                cache.put_trace(trace, cell.length, cell.seed)
+        if trace_memo is not None:
+            trace_memo[memo_key] = trace
+        traces.append(trace)
+    result = SystemSimulator(cell.config, traces, seed=cell.seed).run()
+    return result_to_payload(result)
+
+
+def _pool_worker(args):
+    """Top-level (picklable) pool entry point: simulate one cell."""
+    cell, cache_root = args
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    return simulate_cell(cell, cache)
+
+
+class ExperimentExecutor:
+    """Schedules cells across workers, through the cache, in order."""
+
+    def __init__(self, jobs=1, cache=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        #: Optional :class:`~repro.exec.cache.ResultCache`; ``None``
+        #: keeps everything in-process (the memo still deduplicates).
+        self.cache = cache
+        self._memo = {}
+        self._trace_memo = {}
+        #: Where results came from, cumulatively: ``simulated`` fresh
+        #: runs, ``cache_hits`` disk loads, ``memo_hits`` in-process
+        #: reuse, ``deduped`` duplicate cells within one batch.
+        self.counters = {
+            "simulated": 0,
+            "cache_hits": 0,
+            "memo_hits": 0,
+            "deduped": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def run_cell(self, cell):
+        """Convenience wrapper: one cell, one result."""
+        return self.run_cells([cell])[0]
+
+    def run_cells(self, cells):
+        """Resolve every cell; returns results in input order."""
+        cells = list(cells)
+        keys = [cell.key() for cell in cells]
+
+        unique = {}
+        for cell, key in zip(cells, keys):
+            unique.setdefault(key, cell)
+        self.counters["deduped"] += len(cells) - len(unique)
+
+        resolved = {}
+        pending = {}
+        for key, cell in unique.items():
+            payload = self._memo.get(key)
+            if payload is not None:
+                self.counters["memo_hits"] += 1
+                resolved[key] = payload
+                continue
+            if self.cache is not None:
+                payload = self.cache.get(key)
+                if payload is not None and payload.get("schema") == PAYLOAD_SCHEMA:
+                    self.counters["cache_hits"] += 1
+                    self._memo[key] = payload
+                    resolved[key] = payload
+                    continue
+            pending[key] = cell
+
+        if pending:
+            self.counters["simulated"] += len(pending)
+            for key, payload in self._execute(pending):
+                self._memo[key] = payload
+                resolved[key] = payload
+                if self.cache is not None:
+                    self.cache.put(key, payload)
+
+        return [payload_to_result(resolved[key]) for key in keys]
+
+    def _execute(self, pending):
+        """Simulate the missing cells; yields ``(key, payload)``."""
+        if self.jobs > 1 and len(pending) > 1:
+            cache_root = self.cache.root if self.cache is not None else None
+            items = [(cell, cache_root) for cell in pending.values()]
+            workers = min(self.jobs, len(items))
+            with multiprocessing.get_context().Pool(workers) as pool:
+                payloads = pool.map(_pool_worker, items)
+            return list(zip(pending.keys(), payloads))
+        return [
+            (key, simulate_cell(cell, self.cache, self._trace_memo))
+            for key, cell in pending.items()
+        ]
+
+    # ------------------------------------------------------------------
+
+    def summary(self):
+        """One status line: where this executor's results came from."""
+        return (
+            "executor: %(simulated)d simulated, %(cache_hits)d from cache, "
+            "%(memo_hits)d memoized, %(deduped)d deduplicated" % self.counters
+        )
+
+    def __repr__(self):
+        return "ExperimentExecutor(jobs=%d, cache=%r)" % (self.jobs, self.cache)

@@ -1,0 +1,102 @@
+"""SimulationResult <-> plain-dict payloads.
+
+The executor moves results between worker processes and persists them in
+the content-addressed cache as JSON.  The payload captures everything
+the figure drivers consume -- per-core breakdowns, energy, superpage
+coverage, and the full unified stats namespace -- so a reconstructed
+result is indistinguishable from a freshly simulated one (ints and
+floats round-trip JSON exactly).
+
+Only the :class:`~repro.obs.manifest.RunManifest` object itself is not
+rebuilt; its scalar projection already lives in ``stats`` under
+``manifest.*`` keys, which is what every downstream consumer reads.
+"""
+
+from repro.common.errors import SimulationError
+from repro.sim.metrics import (
+    CoreResult,
+    DramReferenceBreakdown,
+    ReplayServiceBreakdown,
+    RuntimeBreakdown,
+    SimulationResult,
+)
+from repro.exec.cells import PAYLOAD_SCHEMA
+
+_DRAM_REF_FIELDS = (
+    "ptw_leaf",
+    "ptw_upper",
+    "replay",
+    "other",
+    "prefetch",
+    "writeback",
+    "walks_with_dram_leaf",
+    "replay_also_dram",
+)
+
+_SERVICE_FIELDS = ("llc", "row_buffer", "unaided")
+
+
+def result_to_payload(result):
+    """Project a :class:`SimulationResult` onto a JSON-able dict."""
+    cores = []
+    for core in result.cores:
+        runtime = core.runtime
+        cores.append(
+            {
+                "workload_name": core.workload_name,
+                "references": core.references,
+                "runtime": {
+                    "total_cycles": runtime.total_cycles,
+                    "dram_ptw_cycles": runtime.dram_ptw_cycles,
+                    "dram_replay_cycles": runtime.dram_replay_cycles,
+                    "dram_other_cycles": runtime.dram_other_cycles,
+                },
+                "dram_refs": {
+                    name: getattr(core.dram_refs, name) for name in _DRAM_REF_FIELDS
+                },
+                "replay_service": {
+                    name: getattr(core.replay_service, name)
+                    for name in _SERVICE_FIELDS
+                },
+            }
+        )
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "cores": cores,
+        "energy_total": result.energy_total,
+        "superpage_fraction": result.superpage_fraction,
+        "stats": dict(result.stats),
+    }
+
+
+def payload_to_result(payload):
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_payload`."""
+    if payload.get("schema") != PAYLOAD_SCHEMA:
+        raise SimulationError(
+            "result payload schema %r != %d" % (payload.get("schema"), PAYLOAD_SCHEMA)
+        )
+    cores = []
+    for entry in payload["cores"]:
+        runtime = RuntimeBreakdown(**entry["runtime"])
+        dram_refs = DramReferenceBreakdown()
+        for name in _DRAM_REF_FIELDS:
+            setattr(dram_refs, name, entry["dram_refs"][name])
+        service = ReplayServiceBreakdown()
+        for name in _SERVICE_FIELDS:
+            setattr(service, name, entry["replay_service"][name])
+        cores.append(
+            CoreResult(
+                entry["workload_name"],
+                entry["references"],
+                runtime,
+                dram_refs,
+                service,
+            )
+        )
+    return SimulationResult(
+        cores,
+        payload["energy_total"],
+        payload["superpage_fraction"],
+        stats=dict(payload["stats"]),
+        manifest=None,
+    )

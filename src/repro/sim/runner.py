@@ -17,6 +17,18 @@ def _resolve_trace(workload, length, seed):
     return make_trace(workload, length=length, seed=seed)
 
 
+def _can_use_executor(executor, workload, max_records, tracer, progress):
+    """Executor cells are whole named-workload runs with no live hooks;
+    anything else falls back to the direct path."""
+    return (
+        executor is not None
+        and isinstance(workload, str)
+        and max_records is None
+        and tracer is None
+        and progress is None
+    )
+
+
 def run_workload(
     workload,
     config=None,
@@ -25,6 +37,7 @@ def run_workload(
     max_records=None,
     tracer=None,
     progress=None,
+    executor=None,
 ):
     """Simulate one workload (a name or a prebuilt Trace) on *config*.
 
@@ -32,10 +45,18 @@ def run_workload(
     and *progress* is called periodically with ``(records_done, total)``;
     both default to off and cost nothing when off.
 
+    *executor* (an :class:`~repro.exec.ExperimentExecutor`) routes the
+    run through the result cache when the workload is a name and no
+    live hooks are requested -- bit-identical, but reusable.
+
     Returns a :class:`~repro.sim.metrics.SimulationResult`.
     """
     if config is None:
         config = default_system_config()
+    if _can_use_executor(executor, workload, max_records, tracer, progress):
+        from repro.exec import SimCell
+
+        return executor.run_cell(SimCell(workload, config, length, seed))
     trace = _resolve_trace(workload, length, seed)
     simulator = SystemSimulator(
         config, [trace], seed=seed, tracer=tracer, progress=progress
@@ -44,15 +65,27 @@ def run_workload(
 
 
 def run_baseline_and_tempo(
-    workload, config=None, length=20000, seed=0, max_records=None, progress=None
+    workload, config=None, length=20000, seed=0, max_records=None, progress=None,
+    executor=None,
 ):
     """Run the same trace with TEMPO off and on.
 
     Returns ``(baseline_result, tempo_result)`` -- the comparison behind
-    every performance figure in the paper.
+    every performance figure in the paper.  With *executor*, the two
+    runs are submitted as one batch (so ``jobs=2`` overlaps them).
     """
     if config is None:
         config = default_system_config()
+    if _can_use_executor(executor, workload, max_records, None, progress):
+        from repro.exec import SimCell
+
+        baseline, tempo = executor.run_cells(
+            [
+                SimCell(workload, config.with_tempo(False), length, seed),
+                SimCell(workload, config.with_tempo(True), length, seed),
+            ]
+        )
+        return baseline, tempo
     trace = _resolve_trace(workload, length, seed)
     baseline = SystemSimulator(
         config.with_tempo(False), [trace], seed=seed, progress=progress

@@ -29,7 +29,7 @@ private L1/L2, TLBs, MMU caches, page tables, and address spaces
 (separate processes).
 """
 
-from repro.common.addressing import cache_line_base, translate
+from repro.common.addressing import LINE_MASK, PAGE_OFFSET_MASKS, cache_line_base, translate
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
@@ -56,6 +56,10 @@ from repro.sim.metrics import (
 from repro.vm.address_space import AddressSpace
 from repro.vm.frame_allocator import FrameAllocator
 from repro.vm.superpage import make_policy
+
+#: Sentinel for :meth:`SystemSimulator._record_events`: "no TLB probe
+#: was done yet, perform it inside the engine".
+_TLB_PROBE = object()
 
 
 class _CoreContext:
@@ -251,13 +255,78 @@ class SystemSimulator:
         core.replay_service = ReplayServiceBreakdown()
 
     def _run_single(self, core, limit, warmup, meter=None):
+        """Single-core driver with a TLB-hit fast path.
+
+        Records whose translation hits the TLB -- the overwhelming
+        majority on every workload -- are processed inline: no
+        generator, no event dispatch, and every hot callable/constant
+        bound to a local.  The inline path performs exactly the
+        operations of :meth:`_record_events` /
+        :meth:`_post_translation` in the same order, so results are
+        bit-identical to the event engine (test_system_fast_path pins
+        this against the traced run, which uses the engine for every
+        record).  TLB misses fall back to the engine with the probe
+        already done (a second lookup would perturb LRU state and hit
+        counters); tracing or IMP disable the fast path entirely.
+        """
         records = core.trace.records
+        fast = self.tracer is None and core.imp is None
+
+        controller = self.controller
+        hierarchy = self.hierarchy
+        nonmem_per_gap = self._nonmem_per_gap
+        tlb_lookup = core.tlb.lookup
+        access = hierarchy.access
+        drain_writebacks = hierarchy.drain_writebacks
+        fill_from_memory = hierarchy.fill_from_memory
+        submit_and_wait = controller.submit_and_wait
+        submit_writeback = controller.submit_writeback
+        record_llc_fill = self.energy.record_llc_fill
+        offset_masks = PAGE_OFFSET_MASKS
+        cpu = core.cpu
+        runtime = core.runtime
+        dram_refs = core.dram_refs
+
         while core.position < limit:
             if core.position == warmup:
                 self._reset_measurement(core)
                 self.energy.reset()
                 self.profiler.begin("measure")
-            self._process_record(core, records[core.position])
+                runtime = core.runtime
+                dram_refs = core.dram_refs
+            record = records[core.position]
+            if fast:
+                vaddr = record.vaddr
+                time = core.time + record.gap * nonmem_per_gap
+                hit = tlb_lookup(vaddr)
+                if hit is not None:
+                    frame, page_size, extra_latency = hit
+                    time += 1 + extra_latency
+                    paddr = frame | (vaddr & offset_masks[page_size])
+                    result = access(cpu, paddr, record.is_write)
+                    time += result.latency
+                    if result.needs_dram:
+                        request = MemoryRequest(
+                            paddr & LINE_MASK,
+                            KIND_DEMAND,
+                            cpu=cpu,
+                            is_write=record.is_write,
+                            enqueue_time=time,
+                        )
+                        finish = submit_and_wait(request, time)
+                        runtime.dram_other_cycles += finish - time
+                        dram_refs.other += 1
+                        fill_from_memory(cpu, paddr, record.is_write)
+                        record_llc_fill()
+                        time = finish
+                    for victim in drain_writebacks():
+                        submit_writeback(victim.paddr, cpu, time)
+                        dram_refs.writeback += 1
+                    core.time = time
+                else:
+                    self._drive_events(self._record_events(core, record, hit=None))
+            else:
+                self._process_record(core, record)
             core.position += 1
             if meter is not None:
                 meter.tick()
@@ -436,7 +505,11 @@ class SystemSimulator:
 
     def _process_record(self, core, record):
         """Single-core driver: answer each event immediately."""
-        events = self._record_events(core, record)
+        self._drive_events(self._record_events(core, record))
+
+    def _drive_events(self, events):
+        """Run one record's event generator to completion, answering
+        every event synchronously from the shared controller."""
         try:
             event = next(events)
             while True:
@@ -449,14 +522,22 @@ class SystemSimulator:
         except StopIteration:
             pass
 
-    def _record_events(self, core, record):
+    def _record_events(self, core, record, hit=_TLB_PROBE):
+        """One record's event stream.
+
+        *hit* carries a TLB probe already performed by the fast path
+        (probing is stateful -- LRU refresh plus hit/miss counters -- so
+        it must happen exactly once per record); the default sentinel
+        means "probe here".
+        """
         tracer = self.tracer
         time = core.time + record.gap * self._nonmem_per_gap
         self._expire_pending_prefetches(core, time)
         arrival = time
 
         vaddr = record.vaddr
-        hit = core.tlb.lookup(vaddr)
+        if hit is _TLB_PROBE:
+            hit = core.tlb.lookup(vaddr)
         walked = False
         leaf_pt_request = None
         if hit is not None:

@@ -1,0 +1,234 @@
+"""Executor, cache, and fast-path regression tests.
+
+The contract under test: *how* a cell is executed -- serially, through a
+process pool, from the disk cache, or on the simulator's TLB-hit fast
+path -- must never change its result.  Every comparison here is exact
+(``==`` on ints and floats), except that ``manifest.timing.*`` stats are
+excluded: those record host wall-clock, the one intentionally
+non-deterministic namespace.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import experiments
+from repro.common.config import default_system_config
+from repro.common.errors import SimulationError
+from repro.exec import (
+    ExperimentExecutor,
+    PAYLOAD_SCHEMA,
+    ResultCache,
+    SimCell,
+    payload_to_result,
+    result_to_payload,
+    simulate_cell,
+)
+from repro.obs import EventTracer
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import make_trace
+
+LENGTH = 900
+WORKLOADS = ("xsbench", "mcf")
+
+
+def _comparable_stats(result):
+    """All stats except the wall-clock ``manifest.timing.*`` keys."""
+    return {
+        key: value
+        for key, value in result.stats.items()
+        if not key.startswith("manifest.timing")
+    }
+
+
+def _slot_dict(obj):
+    return {name: getattr(obj, name) for name in type(obj).__slots__}
+
+
+def _assert_identical(expected, actual):
+    """Bit-exact equality on everything the figure drivers consume."""
+    assert actual.total_cycles == expected.total_cycles
+    assert actual.energy_total == expected.energy_total
+    assert actual.superpage_fraction == expected.superpage_fraction
+    assert len(actual.cores) == len(expected.cores)
+    for mine, theirs in zip(expected.cores, actual.cores):
+        assert theirs.workload_name == mine.workload_name
+        assert theirs.references == mine.references
+        assert _slot_dict(theirs.runtime) == _slot_dict(mine.runtime)
+        assert _slot_dict(theirs.dram_refs) == _slot_dict(mine.dram_refs)
+        assert _slot_dict(theirs.replay_service) == _slot_dict(mine.replay_service)
+    assert _comparable_stats(actual) == _comparable_stats(expected)
+
+
+def _pair_cells():
+    config = default_system_config()
+    return [
+        SimCell("xsbench", config.with_tempo(False), LENGTH),
+        SimCell("xsbench", config.with_tempo(True), LENGTH),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Driver-level bit-identity: serial uncached vs parallel vs warm cache
+# ----------------------------------------------------------------------
+
+
+def _driver_three_ways(driver, cache_dir):
+    kwargs = dict(workloads=WORKLOADS, length=LENGTH, seed=0)
+    serial = driver(executor=ExperimentExecutor(), **kwargs)
+    cache = ResultCache(str(cache_dir))
+    parallel = driver(executor=ExperimentExecutor(jobs=2, cache=cache), **kwargs)
+    warm_executor = ExperimentExecutor(cache=cache)
+    warm = driver(executor=warm_executor, **kwargs)
+    return serial, parallel, warm, warm_executor
+
+
+def test_fig01_parallel_and_cached_match_serial(tmp_path):
+    serial, parallel, warm, warm_executor = _driver_three_ways(
+        experiments.fig01_runtime_breakdown, tmp_path
+    )
+    assert parallel["rows"] == serial["rows"]
+    assert warm["rows"] == serial["rows"]
+    # The warm run resolved every cell from disk: zero new simulations.
+    assert warm_executor.counters["simulated"] == 0
+    assert warm_executor.counters["cache_hits"] == len(WORKLOADS)
+
+
+def test_fig10_parallel_and_cached_match_serial(tmp_path):
+    serial, parallel, warm, warm_executor = _driver_three_ways(
+        experiments.fig10_performance_energy, tmp_path
+    )
+    assert parallel["rows"] == serial["rows"]
+    assert warm["rows"] == serial["rows"]
+    assert warm_executor.counters["simulated"] == 0
+
+
+def test_cell_results_bit_identical_across_paths(tmp_path):
+    """Full stats comparison, not just the driver's row projection."""
+    serial = ExperimentExecutor().run_cells(_pair_cells())
+    cache = ResultCache(str(tmp_path))
+    pooled = ExperimentExecutor(jobs=2, cache=cache).run_cells(_pair_cells())
+    warm = ExperimentExecutor(cache=cache).run_cells(_pair_cells())
+    for expected, a, b in zip(serial, pooled, warm):
+        _assert_identical(expected, a)
+        _assert_identical(expected, b)
+
+
+# ----------------------------------------------------------------------
+# Cache addressing and invalidation
+# ----------------------------------------------------------------------
+
+
+def test_key_changes_with_config_and_version(monkeypatch):
+    config = default_system_config()
+    cell = SimCell("xsbench", config, LENGTH)
+    assert cell.key() == SimCell("xsbench", config, LENGTH).key()
+    assert cell.key() != SimCell("xsbench", config.with_tempo(False), LENGTH).key()
+    assert cell.key() != SimCell("xsbench", config, LENGTH, seed=1).key()
+    assert cell.key() != SimCell("mcf", config, LENGTH).key()
+    monkeypatch.setattr("repro.__version__", "0.0.0+stale")
+    assert SimCell("xsbench", config, LENGTH).key() != cell.key()
+
+
+def test_stale_version_entry_not_reused(tmp_path, monkeypatch):
+    """A cache written by another package version is never addressed."""
+    cache = ResultCache(str(tmp_path))
+    cell = SimCell("xsbench", default_system_config(), LENGTH)
+    filled = ExperimentExecutor(cache=cache)
+    filled.run_cell(cell)
+    assert filled.counters["simulated"] == 1
+
+    monkeypatch.setattr("repro.__version__", "0.0.0+stale")
+    fresh = ExperimentExecutor(cache=cache)
+    fresh.run_cell(SimCell("xsbench", default_system_config(), LENGTH))
+    assert fresh.counters["cache_hits"] == 0
+    assert fresh.counters["simulated"] == 1
+
+
+def test_stale_schema_entry_not_reused(tmp_path):
+    """An on-disk payload with the wrong schema is a miss, not a crash."""
+    cache = ResultCache(str(tmp_path))
+    cell = SimCell("xsbench", default_system_config(), LENGTH)
+    expected = ExperimentExecutor(cache=cache).run_cell(cell)
+
+    path = cache._result_path(cell.key())
+    with open(path) as stream:
+        payload = json.load(stream)
+    payload["schema"] = PAYLOAD_SCHEMA + 1
+    with open(path, "w") as stream:
+        json.dump(payload, stream)
+
+    fresh = ExperimentExecutor(cache=cache)
+    result = fresh.run_cell(SimCell("xsbench", default_system_config(), LENGTH))
+    assert fresh.counters["simulated"] == 1
+    _assert_identical(expected, result)
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cell = SimCell("xsbench", default_system_config(), LENGTH)
+    path = cache._result_path(cell.key())
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as stream:
+        stream.write("{ torn write")
+    assert cache.get(cell.key()) is None
+
+
+def test_executor_memoizes_and_dedupes(tmp_path):
+    executor = ExperimentExecutor(cache=ResultCache(str(tmp_path)))
+    cell = SimCell("xsbench", default_system_config(), LENGTH)
+    executor.run_cells([cell, SimCell("xsbench", default_system_config(), LENGTH)])
+    assert executor.counters["simulated"] == 1
+    assert executor.counters["deduped"] == 1
+    executor.run_cell(cell)
+    assert executor.counters["memo_hits"] == 1
+    assert executor.counters["simulated"] == 1
+
+
+def test_trace_cache_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    trace = make_trace("xsbench", length=LENGTH, seed=0)
+    cache.put_trace(trace, LENGTH, 0)
+    loaded = cache.get_trace("xsbench", LENGTH, 0)
+    assert loaded is not None
+    assert len(loaded) == len(trace)
+    assert [
+        (a.vaddr, a.is_write, a.gap) for a in loaded
+    ] == [(b.vaddr, b.is_write, b.gap) for b in trace]
+
+
+# ----------------------------------------------------------------------
+# Payload serialization
+# ----------------------------------------------------------------------
+
+
+def test_serialize_round_trip():
+    payload = simulate_cell(SimCell("xsbench", default_system_config(), LENGTH))
+    rebuilt = payload_to_result(payload)
+    # Through JSON and back, the projection is unchanged.
+    assert result_to_payload(rebuilt) == json.loads(json.dumps(payload))
+
+
+def test_payload_schema_mismatch_raises():
+    with pytest.raises(SimulationError):
+        payload_to_result({"schema": PAYLOAD_SCHEMA + 1, "cores": []})
+
+
+# ----------------------------------------------------------------------
+# Hot-loop fast path
+# ----------------------------------------------------------------------
+
+
+def test_system_fast_path_matches_event_engine():
+    """A tracer forces every record through the generator-based event
+    engine; without one, TLB hits take the inlined fast path.  Both must
+    produce the same machine state."""
+    config = default_system_config()
+    for name in ("xsbench", "bzip2_small"):
+        trace = make_trace(name, length=1200, seed=0)
+        fast = SystemSimulator(config, [trace], seed=0).run()
+        traced = SystemSimulator(
+            config, [trace], seed=0, tracer=EventTracer(limit=16)
+        ).run()
+        _assert_identical(fast, traced)

@@ -1,0 +1,6 @@
+"""Developer tooling that lives outside the installable package.
+
+``python -m tools.bench`` (with ``src`` on ``PYTHONPATH``) is the
+performance harness; it writes ``BENCH_perf.json`` at the repo root so
+the perf trajectory is tracked across PRs.
+"""

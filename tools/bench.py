@@ -1,0 +1,178 @@
+"""Performance harness: ``python -m tools.bench`` (with ``src`` on
+``PYTHONPATH``).
+
+Two measurements, written to ``BENCH_perf.json`` at the repo root:
+
+* **records/sec per workload** -- one ``SystemSimulator.run()`` per
+  registered workload under the default config, trace generation
+  excluded, so the number isolates the simulator hot loop (the fast
+  path in :mod:`repro.sim.system`).
+* **wall-clock per figure** -- each benched figure driver run three
+  ways: serial with no cache (the pre-executor behaviour), parallel
+  (``--jobs``) into a cold cache, and serially against that now-warm
+  cache.  The ratios are the executor's measured speedups.
+
+Keep ``--length`` small: the point is a repeatable trajectory across
+PRs, not report-quality statistics.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import tempfile
+import time
+
+from repro import __version__
+from repro.analysis import experiments
+from repro.common.config import default_system_config
+from repro.exec import ExperimentExecutor, ResultCache
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import make_trace, workload_names
+
+#: Figure drivers the harness times, smallest representative set: fig01
+#: is single-config per workload, fig10 is the baseline/TEMPO pair sweep.
+BENCH_FIGURES = {
+    "fig01_runtime_breakdown": experiments.fig01_runtime_breakdown,
+    "fig10_performance_energy": experiments.fig10_performance_energy,
+}
+
+
+def bench_workloads(names, length, seed=0):
+    """records/sec for each workload, trace generation excluded."""
+    config = default_system_config()
+    rows = {}
+    for name in names:
+        trace = make_trace(name, length=length, seed=seed)
+        started = time.perf_counter()
+        SystemSimulator(config, [trace], seed=seed).run()
+        elapsed = time.perf_counter() - started
+        rows[name] = {
+            "records": len(trace),
+            "seconds": round(elapsed, 4),
+            "records_per_sec": round(len(trace) / elapsed) if elapsed else None,
+        }
+    return rows
+
+
+def _time_driver(driver, length, executor):
+    started = time.perf_counter()
+    driver(length=length, executor=executor)
+    return time.perf_counter() - started
+
+
+def bench_figures(figures, length, jobs, cache_root):
+    """Serial / parallel-cold-cache / warm-cache wall-clock per figure."""
+    rows = {}
+    for name, driver in figures.items():
+        serial = _time_driver(driver, length, ExperimentExecutor())
+        cache = ResultCache(os.path.join(cache_root, name))
+        parallel = _time_driver(
+            driver, length, ExperimentExecutor(jobs=jobs, cache=cache)
+        )
+        warm_executor = ExperimentExecutor(cache=cache)
+        warm = _time_driver(driver, length, warm_executor)
+        rows[name] = {
+            "serial_seconds": round(serial, 3),
+            "parallel_seconds": round(parallel, 3),
+            "parallel_jobs": jobs,
+            "parallel_speedup": round(serial / parallel, 2) if parallel else None,
+            "warm_cache_seconds": round(warm, 3),
+            "warm_cache_speedup": round(serial / warm, 2) if warm else None,
+            "warm_cache_simulated": warm_executor.counters["simulated"],
+        }
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.bench",
+        description="Time the simulator hot loop and the experiment "
+        "executor; write BENCH_perf.json.",
+    )
+    parser.add_argument(
+        "--length", type=int, default=4000, help="records per trace (default 4000)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="workers for the parallel runs"
+    )
+    parser.add_argument(
+        "--figures",
+        default=",".join(BENCH_FIGURES),
+        help="comma-separated figure drivers to time (default: all benched)",
+    )
+    parser.add_argument(
+        "--skip-figures", action="store_true", help="only bench workload throughput"
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_perf.json", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    figures = {}
+    if not args.skip_figures:
+        for name in args.figures.split(","):
+            name = name.strip()
+            if name not in BENCH_FIGURES:
+                parser.error(
+                    "unknown figure %r (benched: %s)"
+                    % (name, ", ".join(BENCH_FIGURES))
+                )
+            figures[name] = BENCH_FIGURES[name]
+
+    print("benching workloads (length=%d) ..." % args.length)
+    workloads = bench_workloads(workload_names(), args.length)
+    for name, row in workloads.items():
+        print("  %-20s %8s rec/s" % (name, row["records_per_sec"]))
+
+    cpu_count = multiprocessing.cpu_count()
+    figure_rows = {}
+    if figures:
+        if args.jobs > cpu_count:
+            print(
+                "note: --jobs %d exceeds the %d available CPU(s); the pool "
+                "adds overhead without speedup on this host" % (args.jobs, cpu_count)
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_root:
+            for name in figures:
+                print("benching %s (serial / jobs=%d / warm cache) ..."
+                      % (name, args.jobs))
+                figure_rows.update(
+                    bench_figures({name: figures[name]}, args.length, args.jobs,
+                                  cache_root)
+                )
+                row = figure_rows[name]
+                print(
+                    "  serial %.2fs, parallel %.2fs (%.2fx), warm cache %.2fs "
+                    "(%.2fx, %d simulated)"
+                    % (
+                        row["serial_seconds"],
+                        row["parallel_seconds"],
+                        row["parallel_speedup"],
+                        row["warm_cache_seconds"],
+                        row["warm_cache_speedup"],
+                        row["warm_cache_simulated"],
+                    )
+                )
+
+    payload = {
+        "schema": 1,
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "generated_utc": time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime()),
+        "length": args.length,
+        "workloads": workloads,
+        "figures": figure_rows,
+    }
+    with open(args.output, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
