@@ -28,9 +28,18 @@ Commands:
     is shared across all sections, so overlapping figures never
     simulate the same cell twice; ``--jobs`` / ``--no-cache`` /
     ``--cache-dir`` work as for ``experiment``.
+``lint [PATHS...]``
+    Run simlint, the AST-based invariant linter (default target:
+    ``src/repro``): no nondeterminism in timing-critical packages,
+    cache-key completeness, payload-schema coverage, stat registration,
+    and the hygiene rules.  ``--format json`` for machine-readable
+    output, ``--disable SLnnn`` to switch rules off, ``--list-rules``
+    for the catalogue; exits 1 when findings remain.  Rules are
+    documented in ``docs/static_analysis.md``.
 """
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
@@ -233,6 +242,47 @@ def _cmd_experiment(args, out):
     return 0
 
 
+def _cmd_lint(args, out):
+    from repro.lint import (
+        ALL_RULES,
+        LintConfig,
+        lint_paths,
+        load_pyproject_config,
+        render_json,
+        render_rules,
+        render_text,
+    )
+
+    if args.list_rules:
+        render_rules(out)
+        return 0
+    known = {rule.rule_id for rule in ALL_RULES}
+    unknown = [rule for rule in args.disable if rule not in known]
+    if unknown:
+        out.write(
+            "unknown rule id(s): %s (known: %s)\n"
+            % (", ".join(unknown), ", ".join(sorted(known)))
+        )
+        return 2
+    paths = args.paths or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        out.write("no such path(s): %s\n" % ", ".join(missing))
+        return 2
+    config = load_pyproject_config(paths[0])
+    if args.disable:
+        config = LintConfig(
+            disabled=set(config.disabled) | set(args.disable),
+            per_file_ignores=config.per_file_ignores,
+        )
+    findings = lint_paths(paths, config=config)
+    if args.format == "json":
+        render_json(findings, out)
+    else:
+        render_text(findings, out)
+    return 1 if findings else 0
+
+
 def _cmd_report(args, out):
     from repro.analysis.report import write_report
 
@@ -344,6 +394,26 @@ def build_parser():
         "--no-ablations", action="store_true", help="figures only (faster)"
     )
     add_executor_flags(report_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run simlint, the AST-based invariant linter"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src/repro)"
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint_parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule by id (repeatable, e.g. --disable SL007)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
     return parser
 
 
@@ -358,6 +428,7 @@ def main(argv=None, out=None):
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args, out)
 

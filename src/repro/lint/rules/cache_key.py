@@ -1,0 +1,226 @@
+"""SL002: every config field must feed the content-addressed cache key.
+
+``config_hash`` canonicalises ``dataclasses.asdict(SystemConfig)``; the
+executor's disk cache (PR 2) addresses results by that hash.  A config
+attribute that is *not* a dataclass field -- a bare class-level
+assignment, a ``ClassVar`` used as a tunable, or a field whose type
+``asdict``/JSON cannot canonicalise -- changes simulated behaviour
+without changing the key, so the cache silently serves stale results.
+
+The rule triggers on any module that defines a ``@dataclass`` named
+``SystemConfig`` (the real one lives in :mod:`repro.common.config`) and
+walks the dataclass graph reachable from it:
+
+* bare (unannotated) class-level assignments are errors: they never
+  become dataclass fields, so they are invisible to ``config_hash``;
+* every reachable field annotation must be a JSON-stable scalar
+  (``int``/``float``/``bool``/``str``) or another config dataclass;
+* a ``@dataclass`` defined in the module but unreachable from
+  ``SystemConfig`` is dead config -- it looks tunable but never feeds
+  the key.
+
+It also checks the executor side on any module defining ``SimCell``:
+``identity()`` must hash the config (a ``config_hash`` call) and carry
+the schema/package-version/trace/seed components PR 2's key derives
+from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import Finding, Module, Rule, decorator_names, dotted_name
+
+_SCALAR_TYPES = {"int", "float", "bool", "str"}
+
+#: Keys SimCell.identity() must emit for the cache key to cover what the
+#: result actually depends on.
+_REQUIRED_IDENTITY_KEYS = ("schema", "package_version", "config_sha256", "traces", "seed")
+
+
+def _annotation_name(annotation: ast.AST) -> Optional[str]:
+    """The plain type name of a field annotation (``int``,
+    ``SubRowConfig``); ``None`` for subscripted/complex annotations."""
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.rsplit(".", 1)[-1]
+    return None
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        return base is not None and base.rsplit(".", 1)[-1] == "ClassVar"
+    name = dotted_name(annotation)
+    return name is not None and name.rsplit(".", 1)[-1] == "ClassVar"
+
+
+class CacheKeyCompletenessRule(Rule):
+    rule_id = "SL002"
+    name = "cache-key-completeness"
+    severity = "error"
+    rationale = (
+        "behaviour-affecting config state that is invisible to "
+        "config_hash makes the content-addressed result cache serve "
+        "stale results"
+    )
+    fixit = (
+        "make the attribute an annotated dataclass field of a scalar or "
+        "config-dataclass type so dataclasses.asdict (and therefore "
+        "config_hash and the cell key) captures it"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        dataclasses_in_module = _collect_dataclasses(module.tree)
+        if "SystemConfig" in dataclasses_in_module:
+            for finding in self._check_config_module(module, dataclasses_in_module):
+                yield finding
+        cell = _find_class(module.tree, "SimCell")
+        if cell is not None:
+            for finding in self._check_cell_module(module, cell):
+                yield finding
+
+    # -- config side ---------------------------------------------------
+
+    def _check_config_module(
+        self, module: Module, classes: Dict[str, ast.ClassDef]
+    ) -> Iterator[Finding]:
+        reachable = _reachable_from(classes, "SystemConfig")
+        for class_name in sorted(reachable):
+            node = classes[class_name]
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    targets = ", ".join(
+                        target.id
+                        for target in statement.targets
+                        if isinstance(target, ast.Name)
+                    )
+                    yield self.finding(
+                        module,
+                        statement,
+                        "%s.%s is a bare class attribute, not a dataclass "
+                        "field: dataclasses.asdict skips it, so it never "
+                        "reaches config_hash or the result-cache key"
+                        % (class_name, targets or "<attribute>"),
+                    )
+                elif isinstance(statement, ast.AnnAssign):
+                    if _is_classvar(statement.annotation):
+                        continue
+                    type_name = _annotation_name(statement.annotation)
+                    if type_name is None or (
+                        type_name not in _SCALAR_TYPES and type_name not in classes
+                    ):
+                        field_name = (
+                            statement.target.id
+                            if isinstance(statement.target, ast.Name)
+                            else "<field>"
+                        )
+                        yield self.finding(
+                            module,
+                            statement,
+                            "%s.%s has type %r, which is neither a JSON-stable "
+                            "scalar nor a config dataclass: config_hash cannot "
+                            "canonicalise it deterministically"
+                            % (class_name, field_name, type_name or "<complex>"),
+                            "use int/float/bool/str or a nested config "
+                            "dataclass (tuples/sets/objects do not survive "
+                            "dataclasses.asdict + canonical JSON)",
+                        )
+        for class_name in sorted(set(classes) - reachable):
+            yield self.finding(
+                module,
+                classes[class_name],
+                "dataclass %s is not reachable from SystemConfig: its fields "
+                "look tunable but never feed config_hash or the cache key"
+                % class_name,
+                "reference it from a SystemConfig field (or move it out of "
+                "the config module)",
+            )
+
+    # -- executor side -------------------------------------------------
+
+    def _check_cell_module(self, module: Module, cell: ast.ClassDef) -> Iterator[Finding]:
+        identity = None
+        for statement in cell.body:
+            if isinstance(statement, ast.FunctionDef) and statement.name == "identity":
+                identity = statement
+                break
+        if identity is None:
+            yield self.finding(
+                module,
+                cell,
+                "SimCell has no identity() method: the cache key has nothing "
+                "canonical to hash",
+                "define identity() returning the dict the cache key hashes",
+            )
+            return
+        calls = {
+            dotted_name(node.func)
+            for node in ast.walk(identity)
+            if isinstance(node, ast.Call)
+        }
+        if not any(name and name.rsplit(".", 1)[-1] == "config_hash" for name in calls):
+            yield self.finding(
+                module,
+                identity,
+                "SimCell.identity() never calls config_hash: config changes "
+                "would not change the cache key",
+                "include config_hash(self.config) in the identity dict",
+            )
+        keys = _identity_dict_keys(identity)
+        for required in _REQUIRED_IDENTITY_KEYS:
+            if required not in keys:
+                yield self.finding(
+                    module,
+                    identity,
+                    "SimCell.identity() omits the %r component: results that "
+                    "differ in it would collide in the cache" % required,
+                    "add the %r entry to the identity dict" % required,
+                )
+
+
+def _collect_dataclasses(tree: ast.AST) -> Dict[str, ast.ClassDef]:
+    found = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and "dataclass" in decorator_names(node):
+            found[node.name] = node
+    return found
+
+
+def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _reachable_from(classes: Dict[str, ast.ClassDef], root: str) -> Set[str]:
+    reachable: Set[str] = set()
+    frontier = [root] if root in classes else []
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        for statement in classes[current].body:
+            if isinstance(statement, ast.AnnAssign):
+                type_name = _annotation_name(statement.annotation)
+                if type_name in classes:
+                    frontier.append(type_name)
+                # Nested types may also hide in default_factory lambdas.
+                if statement.value is not None:
+                    for node in ast.walk(statement.value):
+                        if isinstance(node, ast.Name) and node.id in classes:
+                            frontier.append(node.id)
+    return reachable
+
+
+def _identity_dict_keys(function: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys

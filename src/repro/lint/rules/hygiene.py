@@ -1,0 +1,222 @@
+"""Hygiene rules: SL005 no-config-mutation, SL006 no-float-cycles,
+SL007 no-print, SL008 no-mutable-defaults.
+
+These are the "makes the invariant rules moot" class of problems:
+
+* mutating a config after construction desynchronises behaviour from
+  the already-computed ``config_hash`` (SL005);
+* floats leaking into cycle accumulators turn exact integer timing into
+  platform-dependent rounding (SL006);
+* ``print`` in library code corrupts machine-readable CLI output and
+  bypasses the observability layer (SL007);
+* mutable default arguments alias state across calls -- across *cells*,
+  in executor code (SL008).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional
+
+from repro.lint.base import Finding, Module, Rule, attribute_chain, dotted_name
+from repro.lint.rules.determinism import TIMING_CRITICAL_PACKAGES
+
+#: Modules where config construction/normalisation legitimately assigns
+#: through config attribute chains.
+_CONFIG_MUTATION_ALLOWED = ("repro.common.config",)
+
+#: Attribute/variable names treated as exact-integer time accumulators.
+_CYCLE_NAME = re.compile(r"(^|_)(cycles?|ticks?|time)$")
+
+#: Modules allowed to print: the user-facing surfaces.
+_PRINT_ALLOWED = ("repro.cli", "repro.__main__")
+
+
+def _is_config_name(part: str) -> bool:
+    return part == "config" or part == "cfg" or part.endswith("_config")
+
+
+class NoConfigMutationRule(Rule):
+    rule_id = "SL005"
+    name = "no-config-mutation"
+    severity = "error"
+    rationale = (
+        "config objects are hashed into the result-cache key at cell "
+        "creation; mutating one afterwards runs a different machine than "
+        "the key claims"
+    )
+    fixit = (
+        "build a modified copy instead: dataclasses.replace / "
+        "SystemConfig.copy_with / with_tempo"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.name in _CONFIG_MUTATION_ALLOWED:
+            return
+        for node in ast.walk(module.tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                chain = attribute_chain(target)
+                # Mutation = writing *through* a config object: some
+                # prefix element (not the final attribute) is a config.
+                # ``self.config = cfg`` stores a config and is fine;
+                # ``self.config.num_cores = 4`` rewrites a hashed one.
+                if chain is not None and any(
+                    _is_config_name(part) for part in chain[:-1]
+                ):
+                    yield self.finding(
+                        module,
+                        target,
+                        "assignment through a config object (%s): the config "
+                        "was hashed at construction, so this mutation "
+                        "invalidates every cache key derived from it"
+                        % ".".join(chain),
+                    )
+
+
+class NoFloatCyclesRule(Rule):
+    rule_id = "SL006"
+    name = "no-float-cycles"
+    severity = "error"
+    rationale = (
+        "cycle counts are exact integers; a float leaking in makes "
+        "timing platform/rounding dependent and breaks bit-reproducible "
+        "latency composition"
+    )
+    fixit = "use integer arithmetic (// not /, int literals not floats)"
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        # Wall-clock floats in host-side code (obs profilers, bench) are
+        # legitimate; only *simulated* time must stay integral.
+        if not module.is_in_package(TIMING_CRITICAL_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AugAssign):
+                target, value = node.target, node.value
+                if isinstance(node.op, ast.Div):
+                    value = node  # ``x /= y`` taints regardless of RHS
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if target is None or value is None:
+                continue
+            name = _target_name(target)
+            if name is None or not _CYCLE_NAME.search(name):
+                continue
+            taint = _float_taint(value)
+            if taint is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    "%s accumulates cycles but is assigned a float-tainted "
+                    "expression (%s)" % (name, taint),
+                )
+
+
+def _target_name(target: ast.AST) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _float_taint(value: ast.AST) -> Optional[str]:
+    """A human-readable reason the expression produces floats, or None."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return "float literal %r" % node.value
+        if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+            node.op, ast.Div
+        ):
+            return "true division / (use //)"
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rsplit(".", 1)[-1] == "float":
+                return "float() conversion"
+    return None
+
+
+class NoPrintRule(Rule):
+    rule_id = "SL007"
+    name = "no-print"
+    severity = "error"
+    rationale = (
+        "print in library code interleaves with machine-readable CLI "
+        "output and bypasses the obs layer's structured exporters"
+    )
+    fixit = (
+        "write to the caller-supplied stream (CLI) or route through "
+        "repro.obs (tracer/metrics/progress hooks)"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.name in _PRINT_ALLOWED:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(module, node, "print() call in library code")
+
+
+class NoMutableDefaultsRule(Rule):
+    rule_id = "SL008"
+    name = "no-mutable-defaults"
+    severity = "error"
+    rationale = (
+        "a mutable default argument is shared across every call -- and "
+        "across cells in executor code, where it aliases state between "
+        "supposedly pure runs"
+    )
+    fixit = "default to None and create the container inside the function"
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                reason = _mutable_default(default)
+                if reason is not None:
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        "%s() has a mutable default argument (%s)" % (name, reason),
+                    )
+
+
+def _mutable_default(default: ast.AST) -> Optional[str]:
+    if isinstance(default, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(default, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(default, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(default, ast.Call):
+        name = dotted_name(default.func)
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "defaultdict",
+            "OrderedDict",
+        ):
+            return "%s()" % name
+    return None

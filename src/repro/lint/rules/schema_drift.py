@@ -1,0 +1,123 @@
+"""SL003: the serialized payload schema must cover every result field.
+
+:mod:`repro.exec.serialize` projects :class:`SimulationResult` onto the
+JSON payload the disk cache stores, and rebuilds results from it.  A
+field added to the result structures but not to the projection does not
+crash anything -- it just silently comes back zeroed on every cache hit,
+so warm-cache reports diverge from cold ones.  This rule pins the two
+sides together: every slot of the result/breakdown classes and every
+attribute ``SimulationResult.__init__`` sets must be named somewhere in
+the serializer (as a string constant or attribute access).
+
+``manifest`` is the one sanctioned exclusion: the
+:class:`~repro.obs.manifest.RunManifest` object is not rebuilt because
+its scalar projection already travels inside ``stats`` as ``manifest.*``
+keys (see ``exec/serialize.py``'s module docstring).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import Finding, Module, Rule
+
+#: Result attributes intentionally absent from the payload.
+ALLOWED_MISSING = frozenset({"manifest"})
+
+
+class SchemaDriftRule(Rule):
+    rule_id = "SL003"
+    name = "schema-drift"
+    severity = "error"
+    rationale = (
+        "a SimulationResult field missing from the exec/serialize payload "
+        "comes back zeroed on every cache hit, so warm-cache reports "
+        "silently diverge from cold runs"
+    )
+    fixit = (
+        "add the field to result_to_payload/payload_to_result (and bump "
+        "PAYLOAD_SCHEMA so stale cache entries become unreachable)"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        metrics = _find_defining(modules, class_name="SimulationResult")
+        serializer = _find_serializer(modules)
+        if metrics is None or serializer is None:
+            return
+        covered = _serializer_vocabulary(serializer.tree)
+        for class_name, attr_node, attr in _result_surface(metrics.tree):
+            if attr in ALLOWED_MISSING or attr.startswith("_"):
+                continue
+            if attr not in covered:
+                yield self.finding(
+                    metrics,
+                    attr_node,
+                    "%s.%s is not covered by the serialized payload in %s: "
+                    "cache hits would rebuild it zeroed" % (class_name, attr, serializer.path),
+                )
+
+
+def _find_defining(modules: Sequence[Module], class_name: str) -> Optional[Module]:
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return module
+    return None
+
+
+def _find_serializer(modules: Sequence[Module]) -> Optional[Module]:
+    for module in modules:
+        names = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        if "result_to_payload" in names and "payload_to_result" in names:
+            return module
+    return None
+
+
+def _result_surface(tree: ast.AST) -> List[Tuple[str, ast.AST, str]]:
+    """``(class, node, attribute)`` for every serialisable result field:
+    ``__slots__`` entries of every slotted class in the metrics module,
+    plus the ``self.x = ...`` attributes of ``SimulationResult``."""
+    surface: List[Tuple[str, ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and any(
+                    isinstance(target, ast.Name) and target.id == "__slots__"
+                    for target in statement.targets
+                )
+                and isinstance(statement.value, (ast.Tuple, ast.List))
+            ):
+                for element in statement.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        surface.append((node.name, statement, element.value))
+        if node.name == "SimulationResult":
+            for statement in ast.walk(node):
+                if (
+                    isinstance(statement, ast.Assign)
+                    and len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Attribute)
+                    and isinstance(statement.targets[0].value, ast.Name)
+                    and statement.targets[0].value.id == "self"
+                ):
+                    surface.append((node.name, statement, statement.targets[0].attr))
+    return surface
+
+
+def _serializer_vocabulary(tree: ast.AST) -> Set[str]:
+    """Every name the serializer mentions: string constants (tuple field
+    lists, dict keys) and attribute accesses."""
+    vocabulary: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            vocabulary.add(node.value)
+        elif isinstance(node, ast.Attribute):
+            vocabulary.add(node.attr)
+    return vocabulary
