@@ -12,6 +12,10 @@ modified page-table walker piggybacks that line index on the leaf-PT
 request.  The helpers at the bottom compute and apply that offset.
 """
 
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
 from repro.common.constants import (
     CACHE_LINE_BYTES,
     CACHE_LINE_SHIFT,
@@ -33,37 +37,37 @@ _RADIX_MASK = PT_ENTRIES - 1
 #: ``~(size - 1)`` on every call.  The simulator's fast path binds these
 #: to locals directly.
 LINE_MASK = ~(CACHE_LINE_BYTES - 1)
-PAGE_OFFSET_MASKS = {size: size - 1 for size in PAGE_SHIFTS}
+PAGE_OFFSET_MASKS: Dict[int, int] = {size: size - 1 for size in PAGE_SHIFTS}
 
 
-def canonical(vaddr):
+def canonical(vaddr: int) -> int:
     """Clamp *vaddr* to the translated 48-bit range."""
     return vaddr & _VA_MASK
 
 
-def page_base(addr, page_size=PAGE_SIZE_4K):
+def page_base(addr: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Return the base address of the *page_size*-aligned page holding
     *addr* (works for virtual and physical addresses alike)."""
     return addr & ~(page_size - 1)
 
 
-def page_offset(addr, page_size=PAGE_SIZE_4K):
+def page_offset(addr: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Return the offset of *addr* within its *page_size* page."""
     mask = PAGE_OFFSET_MASKS.get(page_size)
     return addr & (mask if mask is not None else page_size - 1)
 
 
-def page_number(addr, page_size=PAGE_SIZE_4K):
+def page_number(addr: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Return the page number of *addr* for the given page size."""
     return addr >> PAGE_SHIFTS[page_size]
 
 
-def page_address(page_num, page_size=PAGE_SIZE_4K):
+def page_address(page_num: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Inverse of :func:`page_number`: page number -> base address."""
     return page_num << PAGE_SHIFTS[page_size]
 
 
-def radix_index(vaddr, level):
+def radix_index(vaddr: int, level: int) -> int:
     """Return the 9-bit radix index used at page-table *level* (4..1).
 
     Level 4 consumes the uppermost 9 translated bits (47:39), level 1 the
@@ -75,12 +79,13 @@ def radix_index(vaddr, level):
     return (canonical(vaddr) >> shift) & _RADIX_MASK
 
 
-def radix_indices(vaddr):
+def radix_indices(vaddr: int) -> Tuple[int, int, int, int]:
     """Return the (L4, L3, L2, L1) radix indices for *vaddr*."""
-    return tuple(radix_index(vaddr, level) for level in (4, 3, 2, 1))
+    l4, l3, l2, l1 = (radix_index(vaddr, level) for level in (4, 3, 2, 1))
+    return (l4, l3, l2, l1)
 
 
-def pte_address(table_base_paddr, index):
+def pte_address(table_base_paddr: int, index: int) -> int:
     """Physical address of entry *index* within the table page at
     *table_base_paddr* -- the concatenation the walker performs."""
     if not 0 <= index < PT_ENTRIES:
@@ -88,16 +93,16 @@ def pte_address(table_base_paddr, index):
     return table_base_paddr + index * PTE_BYTES
 
 
-def cache_line_id(addr):
+def cache_line_id(addr: int) -> int:
     """Global cache-line identifier (address >> 6)."""
     return addr >> CACHE_LINE_SHIFT
 
-def cache_line_base(addr):
+def cache_line_base(addr: int) -> int:
     """Base address of the cache line holding *addr*."""
     return addr & LINE_MASK
 
 
-def line_index_in_page(vaddr, page_size=PAGE_SIZE_4K):
+def line_index_in_page(vaddr: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Cache-line index of *vaddr* within its page.
 
     For 4 KB pages this is the 6-bit quantity (64 lines/page) the modified
@@ -108,19 +113,19 @@ def line_index_in_page(vaddr, page_size=PAGE_SIZE_4K):
     return page_offset(vaddr, page_size) >> CACHE_LINE_SHIFT
 
 
-def replay_address(frame_base_paddr, line_index):
+def replay_address(frame_base_paddr: int, line_index: int) -> int:
     """Reconstruct the replay's physical target: the prefetch engine
     concatenates the PTE's physical page number with the piggybacked
     cache-line index (paper Sec. 4.1, Prefetch Engine)."""
     return frame_base_paddr + (line_index << CACHE_LINE_SHIFT)
 
 
-def split_vaddr(vaddr, page_size=PAGE_SIZE_4K):
+def split_vaddr(vaddr: int, page_size: int = PAGE_SIZE_4K) -> Tuple[int, int]:
     """Return ``(virtual_page_number, page_offset)`` for *vaddr*."""
     return page_number(vaddr, page_size), page_offset(vaddr, page_size)
 
 
-def translate(vaddr, frame_base_paddr, page_size=PAGE_SIZE_4K):
+def translate(vaddr: int, frame_base_paddr: int, page_size: int = PAGE_SIZE_4K) -> int:
     """Combine a frame base with the page offset of *vaddr*."""
     mask = PAGE_OFFSET_MASKS.get(page_size)
     return frame_base_paddr | (vaddr & (mask if mask is not None else page_size - 1))

@@ -10,18 +10,21 @@ All latencies are in CPU cycles.  All sizes are in bytes unless the field
 name says otherwise.
 """
 
+from __future__ import annotations
+
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.common.constants import CACHE_LINE_BYTES, PAGE_SIZE_4K
 from repro.common.errors import ConfigError
 
 
-def _require(condition, message):
+def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigError(message)
 
 
-def _power_of_two(value):
+def _power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
 
 
@@ -42,7 +45,7 @@ class CoreConfig:
     #: lookups forms TEMPO's 120+-cycle slack window (paper Sec. 3).
     tlb_fill_latency: int = 45
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.nonmem_cycles_per_gap >= 0, "nonmem_cycles_per_gap must be >= 0")
         _require(
             0 < self.l1_latency < self.l2_latency < self.llc_latency,
@@ -69,7 +72,7 @@ class TlbConfig:
     #: the tiny dedicated L1 array.
     l2_holds_1g: bool = False
 
-    def validate(self):
+    def validate(self) -> None:
         for entries, assoc, label in (
             (self.l1_entries_4k, self.l1_assoc_4k, "L1-4K"),
             (self.l1_entries_2m, self.l1_assoc_2m, "L1-2M"),
@@ -95,7 +98,7 @@ class MmuCacheConfig:
     assoc: int = 4
     latency: int = 2
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.entries_per_level > 0, "MMU cache needs entries")
         _require(self.entries_per_level % self.assoc == 0, "MMU cache entries not divisible by assoc")
         _require(self.latency >= 0, "MMU cache latency must be >= 0")
@@ -110,7 +113,7 @@ class CacheConfig:
     line_bytes: int = CACHE_LINE_BYTES
     replacement: str = "lru"
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.size_bytes > 0, "cache size must be positive")
         _require(self.assoc > 0, "cache associativity must be positive")
         _require(_power_of_two(self.line_bytes), "cache line size must be a power of two")
@@ -120,7 +123,7 @@ class CacheConfig:
         _require(self.replacement in ("lru", "random"), "unknown replacement %r" % self.replacement)
 
     @property
-    def num_sets(self):
+    def num_sets(self) -> int:
         return self.size_bytes // (self.assoc * self.line_bytes)
 
 
@@ -137,7 +140,7 @@ class RowPolicyConfig:
     predictor_initial_window: int = 200
     predictor_max_window: int = 2000
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.policy in ("open", "closed", "adaptive"), "unknown row policy %r" % self.policy)
         _require(self.predictor_sets > 0 and _power_of_two(self.predictor_sets), "predictor sets must be a power of two")
         _require(self.predictor_ways > 0, "predictor ways must be positive")
@@ -158,7 +161,7 @@ class SubRowConfig:
     #: Sub-rows reserved for TEMPO's post-translation prefetches.
     dedicated_prefetch_subrows: int = 2
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.num_subrows > 0, "need at least one sub-row")
         _require(self.allocation in ("foa", "poa"), "unknown sub-row allocation %r" % self.allocation)
         _require(
@@ -199,7 +202,7 @@ class DramConfig:
     refresh_cycles: int = 1050
     subrows: SubRowConfig = field(default_factory=SubRowConfig)
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.channels > 0 and _power_of_two(self.channels), "channels must be a power of two")
         _require(self.banks_per_channel > 0 and _power_of_two(self.banks_per_channel), "banks must be a power of two")
         _require(_power_of_two(self.row_bytes), "row size must be a power of two")
@@ -238,7 +241,7 @@ class SchedulerConfig:
     #: ATLAS: attained-service quantum (cycles) after which ranks reset.
     atlas_quantum_cycles: int = 100_000
 
-    def validate(self):
+    def validate(self) -> None:
         _require(
             self.policy in ("fcfs", "frfcfs", "bliss", "atlas"),
             "unknown scheduler %r" % self.policy,
@@ -277,7 +280,7 @@ class TempoConfig:
     #: switching to a competing application (paper Sec. 4.3: 15 best).
     grace_period_cycles: int = 15
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.prefetch_row_cycles > 0, "row prefetch latency must be positive")
         _require(self.prefetch_llc_extra_cycles >= 0, "LLC prefetch extra latency must be >= 0")
         _require(self.slack_window_cycles >= 0, "slack window must be >= 0")
@@ -298,7 +301,7 @@ class ImpConfig:
     max_indirect_levels: int = 2
     max_prefetch_distance: int = 16
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.prefetch_table_entries > 0, "IMP table needs entries")
         _require(self.indirect_pattern_detector_entries > 0, "IPD needs entries")
         _require(self.max_indirect_ways > 0, "IMP needs at least one indirect way")
@@ -322,7 +325,7 @@ class VmConfig:
     #: fragmentation (paper Sec. 6.2: 0/0.25/0.5/0.75).
     memhog_fraction: float = 0.0
 
-    def validate(self):
+    def validate(self) -> None:
         _require(self.phys_mem_bytes >= PAGE_SIZE_4K, "physical memory too small")
         _require(_power_of_two(self.phys_mem_bytes), "physical memory must be a power of two")
         _require(0.0 <= self.memhog_fraction < 1.0, "memhog fraction must be in [0, 1)")
@@ -347,7 +350,7 @@ class EnergyConfig:
     #: TEMPO area overhead: 3% on the controller's share of static power.
     tempo_static_overhead: float = 0.002
 
-    def validate(self):
+    def validate(self) -> None:
         for name in (
             "background_power_per_kilocycle",
             "act_pre_energy",
@@ -379,7 +382,7 @@ class SystemConfig:
     num_cores: int = 1
     seed: int = 1701
 
-    def validate(self):
+    def validate(self) -> SystemConfig:
         """Validate every sub-config; raises :class:`ConfigError`."""
         self.core.validate()
         self.tlb.validate()
@@ -398,17 +401,17 @@ class SystemConfig:
         _require(self.l1.size_bytes <= self.l2.size_bytes <= self.llc.size_bytes, "cache sizes must be non-decreasing")
         return self
 
-    def with_tempo(self, enabled=True, **overrides):
+    def with_tempo(self, enabled: bool = True, **overrides: Any) -> SystemConfig:
         """Return a copy with TEMPO toggled (and optional field overrides)."""
         tempo = replace(self.tempo, enabled=enabled, **overrides)
         return replace(self, tempo=tempo)
 
-    def copy_with(self, **overrides):
+    def copy_with(self, **overrides: Any) -> SystemConfig:
         """Return a shallow-copied config with top-level overrides."""
         return replace(self, **overrides)
 
 
-def default_system_config(**overrides):
+def default_system_config(**overrides: Any) -> SystemConfig:
     """The validated Skylake-like default machine (Figure 9, scaled)."""
     config = SystemConfig(**overrides)
     config.validate()

@@ -1,5 +1,9 @@
 """Exception hierarchy for the TEMPO reproduction."""
 
+from __future__ import annotations
+
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -19,7 +23,7 @@ class TranslationFault(ReproError):
     in the workload generator rather than expected behaviour.
     """
 
-    def __init__(self, vaddr, message=None):
+    def __init__(self, vaddr: int, message: Optional[str] = None) -> None:
         self.vaddr = vaddr
         super().__init__(message or "no translation for virtual address 0x%x" % vaddr)
 

@@ -4,9 +4,17 @@ Experiments must be bit-for-bit reproducible: every stochastic component
 (workload generators, memhog fragmentation, random replacement) draws from
 a :class:`DeterministicRng` derived from an experiment seed plus a purpose
 string, so adding a new consumer never perturbs existing streams.
+
+This module is the *only* sanctioned gateway to :mod:`random`: simlint
+rule SL001 bans direct ``random`` use in timing-critical packages.
 """
 
+from __future__ import annotations
+
 import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
 
 
 class DeterministicRng:
@@ -17,31 +25,31 @@ class DeterministicRng:
     True
     """
 
-    def __init__(self, seed, purpose=""):
+    def __init__(self, seed: int, purpose: str = "") -> None:
         self.seed = seed
         self.purpose = purpose
         self._random = random.Random("%s/%s" % (seed, purpose))
 
-    def derive(self, purpose):
+    def derive(self, purpose: str) -> DeterministicRng:
         """Return an independent stream for a sub-purpose."""
         return DeterministicRng(self.seed, "%s/%s" % (self.purpose, purpose))
 
-    def randint(self, low, high):
+    def randint(self, low: int, high: int) -> int:
         return self._random.randint(low, high)
 
-    def random(self):
+    def random(self) -> float:
         return self._random.random()
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[T]) -> T:
         return self._random.choice(seq)
 
-    def shuffle(self, seq):
+    def shuffle(self, seq: List[T]) -> None:
         self._random.shuffle(seq)
 
-    def sample(self, population, count):
+    def sample(self, population: Sequence[T], count: int) -> List[T]:
         return self._random.sample(population, count)
 
-    def geometric(self, mean):
+    def geometric(self, mean: float) -> int:
         """Geometric-ish positive integer with the given mean (>= 1)."""
         if mean <= 1:
             return 1
@@ -51,7 +59,7 @@ class DeterministicRng:
             value += 1
         return value
 
-    def zipf_index(self, population_size, skew=0.99):
+    def zipf_index(self, population_size: int, skew: float = 0.99) -> int:
         """Approximate Zipf-distributed index in [0, population_size).
 
         Uses the inverse-CDF power-law approximation, which is accurate
@@ -67,5 +75,5 @@ class DeterministicRng:
         index = int(population_size * u ** (1.0 / (1.0 - skew)))
         return min(max(index, 0), population_size - 1)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "DeterministicRng(seed=%r, purpose=%r)" % (self.seed, self.purpose)

@@ -3,7 +3,17 @@
 Every simulated structure (TLB, cache, bank, scheduler, ...) owns a
 :class:`StatGroup` so results can be harvested uniformly by the experiment
 drivers in :mod:`repro.analysis`.
+
+Counters and histograms must be *created through their group*
+(:meth:`StatGroup.counter` / :meth:`StatGroup.histogram`): a directly
+constructed primitive is invisible to the
+:class:`~repro.obs.registry.MetricsRegistry` export (simlint rule SL004
+enforces this).
 """
+
+from __future__ import annotations
+
+from typing import Dict, Optional
 
 
 class Counter:
@@ -11,20 +21,20 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name, value=0):
+    def __init__(self, name: str, value: int = 0) -> None:
         self.name = name
         self.value = value
 
-    def add(self, amount=1):
+    def add(self, amount: int = 1) -> None:
         self.value += amount
 
-    def reset(self):
+    def reset(self) -> None:
         self.value = 0
 
-    def __int__(self):
+    def __int__(self) -> int:
         return self.value
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Counter(%s=%d)" % (self.name, self.value)
 
 
@@ -36,23 +46,23 @@ class Histogram:
     #: Percentiles exported by :meth:`StatGroup.as_dict`.
     EXPORT_PERCENTILES = (50, 95, 99)
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         self.name = name
-        self.buckets = {}
+        self.buckets: Dict[int, int] = {}
 
-    def record(self, key, amount=1):
+    def record(self, key: int, amount: int = 1) -> None:
         self.buckets[key] = self.buckets.get(key, 0) + amount
 
-    def total(self):
+    def total(self) -> int:
         return sum(self.buckets.values())
 
-    def mean(self):
+    def mean(self) -> float:
         total = self.total()
         if total == 0:
             return 0.0
         return sum(key * count for key, count in self.buckets.items()) / total
 
-    def percentile(self, p):
+    def percentile(self, p: float) -> int:
         """Nearest-rank percentile: the smallest recorded key at or
         above rank ``ceil(p/100 * total)``.  Returns 0 when empty."""
         if not 0 <= p <= 100:
@@ -68,16 +78,16 @@ class Histogram:
                 return key
         return max(self.buckets)
 
-    def min(self):
+    def min(self) -> int:
         return min(self.buckets) if self.buckets else 0
 
-    def max(self):
+    def max(self) -> int:
         return max(self.buckets) if self.buckets else 0
 
-    def reset(self):
+    def reset(self) -> None:
         self.buckets.clear()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Histogram(%s, n=%d)" % (self.name, self.total())
 
 
@@ -90,29 +100,29 @@ class StatGroup:
     {'tlb.hits': 1}
     """
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         self.name = name
-        self._counters = {}
-        self._histograms = {}
-        self._children = {}
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._children: Dict[str, StatGroup] = {}
 
-    def counter(self, name):
+    def counter(self, name: str) -> Counter:
         """Return (creating on first use) the counter *name*."""
         found = self._counters.get(name)
         if found is None:
-            found = Counter(name)
+            found = Counter(name)  # simlint: disable=SL004 (the factory itself)
             self._counters[name] = found
         return found
 
-    def histogram(self, name):
+    def histogram(self, name: str) -> Histogram:
         """Return (creating on first use) the histogram *name*."""
         found = self._histograms.get(name)
         if found is None:
-            found = Histogram(name)
+            found = Histogram(name)  # simlint: disable=SL004 (the factory itself)
             self._histograms[name] = found
         return found
 
-    def child(self, name):
+    def child(self, name: str) -> StatGroup:
         """Return (creating on first use) a nested group *name*."""
         found = self._children.get(name)
         if found is None:
@@ -120,7 +130,7 @@ class StatGroup:
             self._children[name] = found
         return found
 
-    def ratio(self, numerator, denominator):
+    def ratio(self, numerator: str, denominator: str) -> float:
         """hits/(hits+misses)-style convenience: value of counter
         *numerator* divided by the sum of both counters (0.0 if empty)."""
         num = self.counter(numerator).value
@@ -129,7 +139,7 @@ class StatGroup:
             return 0.0
         return num / den
 
-    def reset(self):
+    def reset(self) -> None:
         for counter in self._counters.values():
             counter.reset()
         for histogram in self._histograms.values():
@@ -137,12 +147,12 @@ class StatGroup:
         for group in self._children.values():
             group.reset()
 
-    def as_dict(self, prefix=None):
+    def as_dict(self, prefix: Optional[str] = None) -> Dict[str, float]:
         """Flatten to ``{"group.counter": value}`` (histograms export
         their totals under ``<name>.total``, means under ``<name>.mean``
         and nearest-rank percentiles under ``<name>.p50`` etc.)."""
         path = self.name if prefix is None else "%s.%s" % (prefix, self.name)
-        flat = {}
+        flat: Dict[str, float] = {}
         for name, counter in self._counters.items():
             flat["%s.%s" % (path, name)] = counter.value
         for name, histogram in self._histograms.items():
@@ -154,5 +164,5 @@ class StatGroup:
             flat.update(group.as_dict(prefix=path))
         return flat
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "StatGroup(%r, %d counters)" % (self.name, len(self._counters))

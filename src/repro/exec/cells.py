@@ -19,8 +19,11 @@ The cache key hashes everything a result depends on:
 * a payload schema version for the serialized-result format itself.
 """
 
+from __future__ import annotations
+
 import hashlib
 import json
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
@@ -31,7 +34,7 @@ from repro.obs.manifest import config_hash
 PAYLOAD_SCHEMA = 1
 
 
-def _package_version():
+def _package_version() -> str:
     # Imported lazily: repro/__init__ pulls in the sim stack.
     from repro import __version__
 
@@ -43,7 +46,7 @@ class SimCell:
 
     __slots__ = ("workloads", "length", "seed", "config", "_key")
 
-    def __init__(self, workloads, config, length, seed=0):
+    def __init__(self, workloads: Union[str, Sequence[str]], config: SystemConfig, length: int, seed: int = 0) -> None:
         if isinstance(workloads, str):
             workloads = (workloads,)
         else:
@@ -61,9 +64,9 @@ class SimCell:
         self.config = config
         self.length = length
         self.seed = seed
-        self._key = None
+        self._key: Optional[str] = None
 
-    def identity(self):
+    def identity(self) -> Dict[str, Any]:
         """The JSON-stable identity dict the cache key hashes."""
         return {
             "schema": PAYLOAD_SCHEMA,
@@ -76,14 +79,14 @@ class SimCell:
             "seed": self.seed,
         }
 
-    def key(self):
+    def key(self) -> str:
         """Content-addressed cache key (SHA-256 hex digest)."""
         if self._key is None:
             canonical = json.dumps(self.identity(), sort_keys=True)
             self._key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
         return self._key
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "SimCell(%s, length=%d, seed=%d, cfg=%s)" % (
             "+".join(self.workloads),
             self.length,
@@ -92,7 +95,7 @@ class SimCell:
         )
 
 
-def trace_key(name, length, seed):
+def trace_key(name: str, length: int, seed: int) -> str:
     """Content address for one generated trace (generator changes are
     covered by the package version)."""
     canonical = json.dumps(

@@ -12,6 +12,10 @@ rebuilt; its scalar projection already lives in ``stats`` under
 ``manifest.*`` keys, which is what every downstream consumer reads.
 """
 
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
 from repro.common.errors import SimulationError
 from repro.sim.metrics import (
     CoreResult,
@@ -36,9 +40,9 @@ _DRAM_REF_FIELDS = (
 _SERVICE_FIELDS = ("llc", "row_buffer", "unaided")
 
 
-def result_to_payload(result):
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
     """Project a :class:`SimulationResult` onto a JSON-able dict."""
-    cores = []
+    cores: List[Dict[str, Any]] = []
     for core in result.cores:
         runtime = core.runtime
         cores.append(
@@ -69,13 +73,13 @@ def result_to_payload(result):
     }
 
 
-def payload_to_result(payload):
+def payload_to_result(payload: Dict[str, Any]) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` from :func:`result_to_payload`."""
     if payload.get("schema") != PAYLOAD_SCHEMA:
         raise SimulationError(
             "result payload schema %r != %d" % (payload.get("schema"), PAYLOAD_SCHEMA)
         )
-    cores = []
+    cores: List[CoreResult] = []
     for entry in payload["cores"]:
         runtime = RuntimeBreakdown(**entry["runtime"])
         dram_refs = DramReferenceBreakdown()

@@ -8,18 +8,21 @@ measured wall-clock timings.  ``flat()`` projects the scalar fields into
 the unified metrics namespace under ``manifest.``.
 """
 
+from __future__ import annotations
+
 import dataclasses
 import hashlib
 import json
 import platform
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 
-def config_snapshot(config):
+def config_snapshot(config: Any) -> Dict[str, Any]:
     """A plain-dict snapshot of a (dataclass) SystemConfig."""
     return dataclasses.asdict(config)
 
 
-def config_hash(config):
+def config_hash(config: Any) -> str:
     """SHA-256 over the canonical JSON of the config snapshot."""
     canonical = json.dumps(config_snapshot(config), sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -40,7 +43,7 @@ class RunManifest:
         "timings",
     )
 
-    def __init__(self, config, seed, traces, warmup_records=None, timings=None):
+    def __init__(self, config: Any, seed: int, traces: Sequence[Any], warmup_records: Optional[int] = None, timings: Optional[Mapping[str, float]] = None) -> None:
         # Imported here: repro/__init__ imports the sim stack which may
         # import us; reaching for the version lazily avoids the cycle.
         from repro import __version__
@@ -49,7 +52,7 @@ class RunManifest:
         self.config_sha256 = config_hash(config)
         self.seed = seed
         self.num_cores = len(traces)
-        self.traces = [
+        self.traces: List[Dict[str, Any]] = [
             {
                 "name": trace.name,
                 "records": len(trace.records),
@@ -62,9 +65,9 @@ class RunManifest:
         self.python_version = platform.python_version()
         #: Wall-clock phase timings + throughput, filled in by the
         #: simulator's profiler after the run.
-        self.timings = dict(timings) if timings else {}
+        self.timings: Dict[str, float] = dict(timings) if timings else {}
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, Any]:
         """Full nested manifest (JSON-serialisable)."""
         return {
             "config": self.config,
@@ -78,9 +81,9 @@ class RunManifest:
             "timings": self.timings,
         }
 
-    def flat(self, prefix="manifest"):
+    def flat(self, prefix: str = "manifest") -> Dict[str, Any]:
         """Scalar projection for the unified metrics namespace."""
-        flat = {
+        flat: Dict[str, Any] = {
             "%s.config_sha256" % prefix: self.config_sha256,
             "%s.seed" % prefix: self.seed,
             "%s.num_cores" % prefix: self.num_cores,
@@ -95,10 +98,10 @@ class RunManifest:
             flat["%s.timing.%s" % (prefix, name)] = value
         return flat
 
-    def to_json(self, indent=2):
+    def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "RunManifest(%s, seed=%d, cfg=%s)" % (
             "+".join(t["name"] for t in self.traces),
             self.seed,

@@ -8,8 +8,13 @@ one flat ``{"dotted.path": number}`` dict, plus JSON/CSV exporters for
 that dict.
 """
 
+from __future__ import annotations
+
 import csv
 import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.stats import StatGroup
 
 
 class MetricsRegistry:
@@ -17,38 +22,38 @@ class MetricsRegistry:
 
     __slots__ = ("_entries",)
 
-    def __init__(self):
-        self._entries = []
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Optional[str], StatGroup]] = []
 
-    def register(self, group, prefix=None):
+    def register(self, group: StatGroup, prefix: Optional[str] = None) -> StatGroup:
         """Register *group* to be flattened under *prefix* (the group's
         own name is always part of the key path)."""
         self._entries.append((prefix, group))
         return group
 
-    def register_all(self, groups, prefix=None):
+    def register_all(self, groups: Iterable[StatGroup], prefix: Optional[str] = None) -> None:
         for group in groups:
             self.register(group, prefix)
 
-    def collect(self, into=None):
+    def collect(self, into: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Flatten every registered group into one dict.
 
         Later registrations win on key collisions (they should not
         happen when prefixes are chosen sanely).
         """
-        flat = {} if into is None else into
+        flat: Dict[str, Any] = {} if into is None else into
         for prefix, group in self._entries:
             flat.update(group.as_dict(prefix=prefix))
         return flat
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._entries)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "MetricsRegistry(%d groups)" % len(self._entries)
 
 
-def write_stats_json(stats, path, indent=2):
+def write_stats_json(stats: Mapping[str, Any], path: str, indent: int = 2) -> int:
     """Write a flat stats dict as sorted JSON; returns the key count."""
     with open(path, "w") as stream:
         json.dump(stats, stream, indent=indent, sort_keys=True)
@@ -56,7 +61,7 @@ def write_stats_json(stats, path, indent=2):
     return len(stats)
 
 
-def write_stats_csv(stats, path):
+def write_stats_csv(stats: Mapping[str, Any], path: str) -> int:
     """Write a flat stats dict as ``metric,value`` CSV rows; returns the
     key count."""
     with open(path, "w", newline="") as stream:

@@ -14,25 +14,32 @@ speedup* = sum of per-application IPC_shared / IPC_alone, and *maximum
 slowdown* = max of per-application T_shared / T_alone.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.manifest import RunManifest
+
 
 class RuntimeBreakdown:
     """Cycle accounting for one core's run."""
 
     __slots__ = ("total_cycles", "dram_ptw_cycles", "dram_replay_cycles", "dram_other_cycles")
 
-    def __init__(self, total_cycles=0, dram_ptw_cycles=0, dram_replay_cycles=0, dram_other_cycles=0):
+    def __init__(self, total_cycles: int = 0, dram_ptw_cycles: int = 0, dram_replay_cycles: int = 0, dram_other_cycles: int = 0) -> None:
         self.total_cycles = total_cycles
         self.dram_ptw_cycles = dram_ptw_cycles
         self.dram_replay_cycles = dram_replay_cycles
         self.dram_other_cycles = dram_other_cycles
 
     @property
-    def non_dram_cycles(self):
+    def non_dram_cycles(self) -> int:
         return self.total_cycles - (
             self.dram_ptw_cycles + self.dram_replay_cycles + self.dram_other_cycles
         )
 
-    def fraction(self, bucket):
+    def fraction(self, bucket: str) -> float:
         """Fraction of total runtime for *bucket* (``ptw`` / ``replay``
         / ``other`` / ``rest``)."""
         if self.total_cycles == 0:
@@ -45,7 +52,7 @@ class RuntimeBreakdown:
         }[bucket]
         return value / self.total_cycles
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, float]:
         return {
             "total_cycles": self.total_cycles,
             "dram_ptw_fraction": self.fraction("ptw"),
@@ -53,7 +60,7 @@ class RuntimeBreakdown:
             "dram_other_fraction": self.fraction("other"),
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "RuntimeBreakdown(total=%d, ptw=%.1f%%, replay=%.1f%%, other=%.1f%%)" % (
             self.total_cycles,
             100 * self.fraction("ptw"),
@@ -81,7 +88,7 @@ class DramReferenceBreakdown:
         "replay_also_dram",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.ptw_leaf = 0
         self.ptw_upper = 0
         self.replay = 0
@@ -95,32 +102,32 @@ class DramReferenceBreakdown:
         self.replay_also_dram = 0
 
     @property
-    def ptw(self):
+    def ptw(self) -> int:
         return self.ptw_leaf + self.ptw_upper
 
     @property
-    def demand_total(self):
+    def demand_total(self) -> int:
         return self.ptw + self.replay + self.other
 
-    def fraction(self, bucket):
+    def fraction(self, bucket: str) -> float:
         if self.demand_total == 0:
             return 0.0
         value = {"ptw": self.ptw, "replay": self.replay, "other": self.other}[bucket]
         return value / self.demand_total
 
-    def leaf_fraction_of_ptw(self):
+    def leaf_fraction_of_ptw(self) -> float:
         """The paper's 96%+: leaf-PT share of DRAM page-table accesses."""
         if self.ptw == 0:
             return 0.0
         return self.ptw_leaf / self.ptw
 
-    def replay_follows_ptw_rate(self):
+    def replay_follows_ptw_rate(self) -> float:
         """The paper's 98%+: DRAM-PTW lookups followed by DRAM replays."""
         if self.walks_with_dram_leaf == 0:
             return 0.0
         return self.replay_also_dram / self.walks_with_dram_leaf
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, float]:
         return {
             "ptw_fraction": self.fraction("ptw"),
             "replay_fraction": self.fraction("replay"),
@@ -139,23 +146,23 @@ class ReplayServiceBreakdown:
 
     __slots__ = ("llc", "row_buffer", "unaided")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.llc = 0
         self.row_buffer = 0
         self.unaided = 0
 
     @property
-    def total(self):
+    def total(self) -> int:
         return self.llc + self.row_buffer + self.unaided
 
-    def fraction(self, bucket):
+    def fraction(self, bucket: str) -> float:
         if self.total == 0:
             return 0.0
         return {"llc": self.llc, "row_buffer": self.row_buffer, "unaided": self.unaided}[
             bucket
         ] / self.total
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, float]:
         return {
             "llc_fraction": self.fraction("llc"),
             "row_buffer_fraction": self.fraction("row_buffer"),
@@ -168,7 +175,7 @@ class CoreResult:
 
     __slots__ = ("workload_name", "references", "runtime", "dram_refs", "replay_service")
 
-    def __init__(self, workload_name, references, runtime, dram_refs, replay_service):
+    def __init__(self, workload_name: str, references: int, runtime: RuntimeBreakdown, dram_refs: DramReferenceBreakdown, replay_service: ReplayServiceBreakdown) -> None:
         self.workload_name = workload_name
         self.references = references
         self.runtime = runtime
@@ -176,11 +183,11 @@ class CoreResult:
         self.replay_service = replay_service
 
     @property
-    def cycles(self):
+    def cycles(self) -> int:
         return self.runtime.total_cycles
 
     @property
-    def ipc_proxy(self):
+    def ipc_proxy(self) -> float:
         """References retired per cycle -- the IPC stand-in used for
         weighted speedup (every trace record is one 'instruction')."""
         if self.cycles == 0:
@@ -196,7 +203,7 @@ class SimulationResult:
     :class:`~repro.obs.manifest.RunManifest` provenance record.
     """
 
-    def __init__(self, cores, energy_total, superpage_fraction, stats=None, manifest=None):
+    def __init__(self, cores: List[CoreResult], energy_total: float, superpage_fraction: float, stats: Optional[Dict[str, Any]] = None, manifest: Optional[RunManifest] = None) -> None:
         self.cores = cores
         self.energy_total = energy_total
         self.superpage_fraction = superpage_fraction
@@ -204,17 +211,17 @@ class SimulationResult:
         self.manifest = manifest
 
     @property
-    def total_cycles(self):
+    def total_cycles(self) -> int:
         return max(core.cycles for core in self.cores)
 
     @property
-    def core(self):
+    def core(self) -> CoreResult:
         """Convenience accessor for single-core runs."""
         if len(self.cores) != 1:
             raise ValueError("result has %d cores; use .cores" % len(self.cores))
         return self.cores[0]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "SimulationResult(%d cores, %d cycles, %.1f energy)" % (
             len(self.cores),
             self.total_cycles,
@@ -222,7 +229,7 @@ class SimulationResult:
         )
 
 
-def performance_improvement(baseline_cycles, improved_cycles):
+def performance_improvement(baseline_cycles: int, improved_cycles: int) -> float:
     """The paper's headline metric: fraction of baseline runtime saved
     (0 = no change; 0.3 = 30% faster)."""
     if baseline_cycles == 0:
@@ -230,13 +237,13 @@ def performance_improvement(baseline_cycles, improved_cycles):
     return (baseline_cycles - improved_cycles) / baseline_cycles
 
 
-def energy_improvement(baseline_energy, improved_energy):
+def energy_improvement(baseline_energy: float, improved_energy: float) -> float:
     if baseline_energy == 0:
         return 0.0
     return (baseline_energy - improved_energy) / baseline_energy
 
 
-def weighted_speedup(shared_results, alone_results):
+def weighted_speedup(shared_results: Sequence[CoreResult], alone_results: Sequence[CoreResult]) -> float:
     """Sum over applications of IPC_shared / IPC_alone."""
     if len(shared_results) != len(alone_results):
         raise ValueError("shared/alone core counts differ")
@@ -247,7 +254,7 @@ def weighted_speedup(shared_results, alone_results):
     return total
 
 
-def max_slowdown(shared_results, alone_results):
+def max_slowdown(shared_results: Sequence[CoreResult], alone_results: Sequence[CoreResult]) -> float:
     """Max over applications of T_shared / T_alone (lower is fairer)."""
     if len(shared_results) != len(alone_results):
         raise ValueError("shared/alone core counts differ")
