@@ -1,0 +1,140 @@
+"""Cache-key completeness, tested dynamically.
+
+simlint's SL002 proves *statically* that every config field is a scalar
+or a nested dataclass (and therefore lands in ``dataclasses.asdict``);
+this suite proves the *runtime* half of the invariant: flipping any leaf
+field anywhere in the config tree changes ``config_hash`` and the
+executor cell key, so no tunable can silently alias two different
+experiments onto one cached result.
+
+The single documented exception is ``num_cores``: :class:`SimCell`
+normalizes it to ``len(workloads)`` (a 4-core config running one trace
+IS the 1-core run), so it changes the config hash but not the cell key.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import SystemConfig, default_system_config
+from repro.exec.cells import SimCell, trace_key
+from repro.obs.manifest import config_hash
+
+
+def leaf_paths(config):
+    """Every dotted path to a scalar leaf in the config tree."""
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            for sub in leaf_paths(value):
+                yield "%s.%s" % (field.name, sub)
+        else:
+            yield field.name
+
+
+def flip(value):
+    """A different-but-same-type value (bool before int: bool is int)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.5
+    if isinstance(value, str):
+        return value + "x"
+    raise TypeError("non-scalar leaf %r; SL002 should have caught this" % (value,))
+
+
+def flipped_at(config, path):
+    """Copy of *config* with the leaf at dotted *path* flipped."""
+    head, _, rest = path.partition(".")
+    value = getattr(config, head)
+    if rest:
+        return dataclasses.replace(config, **{head: flipped_at(value, rest)})
+    return dataclasses.replace(config, **{head: flip(value)})
+
+
+BASE = default_system_config()
+ALL_PATHS = sorted(leaf_paths(BASE))
+
+
+def test_config_tree_is_nontrivial():
+    # Sanity-check the walk itself: the tree has many leaves across
+    # every sub-config, so the parametrized sweep below means something.
+    assert len(ALL_PATHS) > 60
+    assert any(path.startswith("tempo.") for path in ALL_PATHS)
+    assert any(path.startswith("dram.subrows.") for path in ALL_PATHS)
+
+
+@pytest.mark.parametrize("path", ALL_PATHS)
+def test_every_leaf_field_feeds_config_hash(path):
+    flipped = flipped_at(BASE, path)
+    assert config_hash(flipped) != config_hash(BASE), (
+        "flipping %s did not change config_hash" % path
+    )
+
+
+@pytest.mark.parametrize("path", ALL_PATHS)
+def test_every_leaf_field_feeds_cell_key(path):
+    base_key = SimCell("gups", BASE, length=100, seed=1).key()
+    flipped_key = SimCell("gups", flipped_at(BASE, path), length=100, seed=1).key()
+    if path == "num_cores":
+        # The documented normalization: SimCell canonicalizes num_cores
+        # to the workload count, so this flip must NOT split the cache.
+        assert flipped_key == base_key
+    else:
+        assert flipped_key != base_key, (
+            "flipping %s did not change the cell key" % path
+        )
+
+
+def test_trace_identity_feeds_cell_key():
+    base = SimCell("gups", BASE, length=100, seed=1)
+    assert SimCell("gups", BASE, length=101, seed=1).key() != base.key()
+    assert SimCell("gups", BASE, length=100, seed=2).key() != base.key()
+    assert SimCell("stream", BASE, length=100, seed=1).key() != base.key()
+    assert SimCell(("gups", "stream"), BASE, length=100, seed=1).key() != base.key()
+    # Mix order matters: core 0 running gups is not core 0 running stream.
+    assert (
+        SimCell(("gups", "stream"), BASE, length=100, seed=1).key()
+        != SimCell(("stream", "gups"), BASE, length=100, seed=1).key()
+    )
+
+
+def test_cell_key_is_stable_and_deterministic():
+    first = SimCell("gups", BASE, length=100, seed=1)
+    second = SimCell("gups", default_system_config(), length=100, seed=1)
+    assert first.key() == second.key()
+    assert first.key() == first.key()  # cached path returns the same key
+
+
+def test_trace_key_varies_in_all_inputs():
+    base = trace_key("gups", 100, 1)
+    assert trace_key("gups", 101, 1) != base
+    assert trace_key("gups", 100, 2) != base
+    assert trace_key("stream", 100, 1) != base
+
+
+def test_flip_helper_changes_every_scalar_type():
+    assert flip(True) is False and flip(False) is True
+    assert flip(7) == 8
+    assert flip(1.5) == 2.0
+    assert flip("lru") == "lrux"
+    with pytest.raises(TypeError):
+        flip((1, 2))
+
+
+def test_num_cores_flip_still_changes_config_hash():
+    # The cell key ignores the flip (normalization), but the raw config
+    # hash must still see it -- manifests record the config as given.
+    flipped = flipped_at(BASE, "num_cores")
+    assert config_hash(flipped) != config_hash(BASE)
+
+
+def test_all_leaves_are_scalars():
+    # The runtime mirror of SL002's scalar-type check.
+    for path in ALL_PATHS:
+        node = BASE
+        for part in path.split("."):
+            node = getattr(node, part)
+        assert isinstance(node, (bool, int, float, str)), path

@@ -1,0 +1,504 @@
+"""Fixture-based self-tests for every simlint rule, plus the
+zero-findings gate over ``src/repro`` and the CLI surface.
+
+Each rule gets one known-bad snippet that must fire and one known-good
+snippet that must stay silent -- the static proof that the rule catches
+what it claims and nothing else.
+"""
+
+import io
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    ALL_RULES,
+    RULES_BY_ID,
+    LintConfig,
+    lint_paths,
+)
+from repro.lint.engine import module_name_for, parse_module
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def lint_snippet(tmp_path, source, relpath="repro/sim/snippet.py", only=None):
+    """Write *source* under tmp_path/*relpath* and lint it; *only*
+    restricts to one rule id."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    rules = [RULES_BY_ID[only]] if only else None
+    return lint_paths([str(path)], rules=rules)
+
+
+def rule_ids(findings):
+    return sorted({finding.rule_id for finding in findings})
+
+
+# ----------------------------------------------------------------------
+# SL001 no-nondeterminism
+
+
+def test_sl001_fires_on_time_random_and_set_iteration(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "import random\n"
+        "from uuid import uuid4\n"
+        "def f(items):\n"
+        "    for x in set(items):\n"
+        "        pass\n"
+        "    for y in {1, 2}:\n"
+        "        pass\n",
+        only="SL001",
+    )
+    assert len(findings) == 5
+    assert rule_ids(findings) == ["SL001"]
+
+
+def test_sl001_tracks_locals_bound_to_sets(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    return [x for x in seen]\n",
+        only="SL001",
+    )
+    assert len(findings) == 1
+
+
+def test_sl001_good_code_is_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "import bisect\n"
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    if 3 in seen:\n"
+        "        return sorted(seen)\n"
+        "    return [x for x in sorted(set(items))]\n",
+        only="SL001",
+    )
+    assert findings == []
+
+
+def test_sl001_only_applies_to_timing_critical_packages(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "import time\n",
+        relpath="repro/obs/profiling.py",
+        only="SL001",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SL002 cache-key-completeness
+
+GOOD_CONFIG = """
+from dataclasses import dataclass, field
+
+@dataclass
+class SubConfig:
+    depth: int = 2
+
+@dataclass
+class SystemConfig:
+    sub: SubConfig = field(default_factory=SubConfig)
+    cores: int = 1
+    label: str = "x"
+"""
+
+BAD_CONFIG = """
+from dataclasses import dataclass, field
+
+@dataclass
+class SubConfig:
+    depth: int = 2
+
+@dataclass
+class OrphanConfig:
+    tunable: int = 3
+
+@dataclass
+class SystemConfig:
+    sub: SubConfig = field(default_factory=SubConfig)
+    sizes: tuple = ()
+    KNOB = 7
+"""
+
+
+def test_sl002_fires_on_bare_attr_bad_type_and_orphan(tmp_path):
+    findings = lint_snippet(tmp_path, BAD_CONFIG, relpath="config.py", only="SL002")
+    messages = "\n".join(finding.message for finding in findings)
+    assert len(findings) == 3
+    assert "KNOB" in messages  # bare class attribute
+    assert "sizes" in messages  # non-scalar field type
+    assert "OrphanConfig" in messages  # unreachable dataclass
+
+
+def test_sl002_good_config_is_silent(tmp_path):
+    assert lint_snippet(tmp_path, GOOD_CONFIG, relpath="config.py", only="SL002") == []
+
+
+def test_sl002_fires_on_incomplete_cell_identity(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "class SimCell:\n"
+        "    def identity(self):\n"
+        "        return {'schema': 1}\n",
+        relpath="cells.py",
+        only="SL002",
+    )
+    messages = "\n".join(finding.message for finding in findings)
+    assert "config_hash" in messages
+    assert "'traces'" in messages and "'seed'" in messages
+
+
+def test_sl002_real_identity_shape_is_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "from repro.obs.manifest import config_hash\n"
+        "class SimCell:\n"
+        "    def identity(self):\n"
+        "        return {\n"
+        "            'schema': 1,\n"
+        "            'package_version': '1',\n"
+        "            'config_sha256': config_hash(self.config),\n"
+        "            'traces': [],\n"
+        "            'seed': self.seed,\n"
+        "        }\n",
+        relpath="cells.py",
+        only="SL002",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SL003 schema-drift
+
+RESULT_MODULE = """
+class PieceBreakdown:
+    __slots__ = ("covered", "uncovered")
+
+class SimulationResult:
+    def __init__(self, covered, manifest=None):
+        self.covered = covered
+        self.manifest = manifest
+"""
+
+SERIALIZER_COVERING = """
+def result_to_payload(result):
+    return {"covered": result.covered, "uncovered": result.uncovered}
+
+def payload_to_result(payload):
+    return payload
+"""
+
+SERIALIZER_DRIFTED = """
+def result_to_payload(result):
+    return {"covered": result.covered}
+
+def payload_to_result(payload):
+    return payload
+"""
+
+
+def _lint_pair(tmp_path, serializer_source):
+    (tmp_path / "metrics.py").write_text(RESULT_MODULE)
+    (tmp_path / "serialize.py").write_text(serializer_source)
+    return lint_paths([str(tmp_path)], rules=[RULES_BY_ID["SL003"]])
+
+
+def test_sl003_fires_on_uncovered_field(tmp_path):
+    findings = _lint_pair(tmp_path, SERIALIZER_DRIFTED)
+    assert len(findings) == 1
+    assert "uncovered" in findings[0].message
+
+
+def test_sl003_covered_schema_and_manifest_exclusion_are_silent(tmp_path):
+    assert _lint_pair(tmp_path, SERIALIZER_COVERING) == []
+
+
+# ----------------------------------------------------------------------
+# SL004 stat-registration
+
+
+def test_sl004_fires_on_direct_primitive_construction(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "from repro.common.stats import Counter, Histogram\n"
+        "hits = Counter('hits')\n"
+        "lat = Histogram('latency')\n",
+        only="SL004",
+    )
+    assert len(findings) == 2
+
+
+def test_sl004_group_factories_are_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "from repro.common.stats import StatGroup\n"
+        "stats = StatGroup('tlb')\n"
+        "stats.counter('hits').add()\n"
+        "stats.histogram('latency').record(3)\n",
+        only="SL004",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SL005 no-config-mutation
+
+
+def test_sl005_fires_on_config_field_assignment(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def tweak(config):\n"
+        "    config.num_cores = 4\n"
+        "class Sim:\n"
+        "    def adjust(self):\n"
+        "        self.config.tempo.enabled = False\n",
+        only="SL005",
+    )
+    assert len(findings) == 2
+
+
+def test_sl005_storing_and_copying_configs_is_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "from dataclasses import replace\n"
+        "class Sim:\n"
+        "    def __init__(self, config):\n"
+        "        self.config = config\n"
+        "    def variant(self):\n"
+        "        return replace(self.config, num_cores=2)\n",
+        only="SL005",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SL006 no-float-cycles
+
+
+def test_sl006_fires_on_division_and_float_literals(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "class Core:\n"
+        "    def step(self, n):\n"
+        "        self.total_cycles = n / 2\n"
+        "        self.time += 1.5\n",
+        only="SL006",
+    )
+    assert len(findings) == 2
+
+
+def test_sl006_integer_arithmetic_is_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "class Core:\n"
+        "    def step(self, n):\n"
+        "        self.total_cycles = n // 2\n"
+        "        self.time += 3\n"
+        "        ratio = self.time / 100\n",  # float result, non-cycle target
+        only="SL006",
+    )
+    assert findings == []
+
+
+def test_sl006_only_applies_to_timing_critical_packages(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "class Profiler:\n"
+        "    def stop(self, started):\n"
+        "        self.wall_time = 1.5\n",
+        relpath="repro/obs/prof.py",
+        only="SL006",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SL007 no-print
+
+
+def test_sl007_fires_in_library_code(tmp_path):
+    findings = lint_snippet(
+        tmp_path, "def f():\n    print('debug')\n", relpath="repro/dram/x.py", only="SL007"
+    )
+    assert len(findings) == 1
+
+
+def test_sl007_cli_is_exempt_and_docstrings_do_not_count(tmp_path):
+    assert (
+        lint_snippet(tmp_path, "print('usage')\n", relpath="repro/cli.py", only="SL007")
+        == []
+    )
+    assert (
+        lint_snippet(
+            tmp_path,
+            '"""Example::\n\n    print(x)\n"""\n',
+            relpath="repro/dram/x.py",
+            only="SL007",
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# SL008 no-mutable-defaults
+
+
+def test_sl008_fires_on_mutable_defaults(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f(a=[], b={}, c=set(), d=dict()):\n    pass\n",
+        only="SL008",
+    )
+    assert len(findings) == 4
+
+
+def test_sl008_none_default_is_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f(a=None, b=(), c='x', d=0):\n    pass\n",
+        only="SL008",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+
+
+def test_inline_pragma_suppresses_single_rule(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f():\n"
+        "    print('one')  # simlint: disable=SL007\n"
+        "    print('two')  # simlint: disable\n"
+        "    print('three')\n",
+        only="SL007",
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_config_disable_and_per_file_ignores(tmp_path):
+    path = tmp_path / "repro" / "sim" / "x.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("def f():\n    print('x')\n")
+    assert lint_paths([str(path)], config=LintConfig(disabled={"SL007"})) == []
+    assert (
+        lint_paths(
+            [str(path)],
+            config=LintConfig(per_file_ignores={"repro/sim/x.py": ["SL007"]}),
+        )
+        == []
+    )
+
+
+def test_module_name_resolution():
+    assert module_name_for(os.path.join("src", "repro", "sim", "system.py")) == (
+        "repro.sim.system"
+    )
+    assert module_name_for(os.path.join("src", "repro", "sim", "__init__.py")) == (
+        "repro.sim"
+    )
+    assert module_name_for("standalone.py") == "standalone"
+
+
+def test_syntax_errors_are_skipped_not_crashed(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert parse_module(str(bad)) is None
+    assert lint_paths([str(bad)]) == []
+
+
+def test_every_rule_has_id_severity_rationale_and_fixit():
+    seen = set()
+    for rule in ALL_RULES:
+        assert rule.rule_id.startswith("SL") and len(rule.rule_id) == 5
+        assert rule.rule_id not in seen
+        seen.add(rule.rule_id)
+        assert rule.severity in ("error", "warning")
+        assert rule.rationale and rule.fixit and rule.name
+
+
+# ----------------------------------------------------------------------
+# The gate itself: the shipped tree is clean.
+
+
+def test_src_repro_has_zero_findings():
+    findings = lint_paths([SRC_REPRO])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_cli_lint_clean_tree_exits_zero():
+    code, output = run_cli("lint", SRC_REPRO)
+    assert code == 0
+    assert "no findings" in output
+
+
+def test_cli_lint_findings_exit_one_and_json(tmp_path):
+    path = tmp_path / "repro" / "mmu" / "bad.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("import random\n")
+    code, output = run_cli("lint", str(path))
+    assert code == 1
+    assert "SL001" in output
+
+    code, output = run_cli("lint", str(path), "--format", "json")
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["counts"]["error"] == 1
+    assert payload["findings"][0]["rule"] == "SL001"
+
+    code, output = run_cli("lint", str(path), "--disable", "SL001")
+    assert code == 0
+
+
+def test_cli_lint_rejects_unknown_rule_and_missing_path(tmp_path):
+    code, output = run_cli("lint", "--disable", "SL999", str(tmp_path))
+    assert code == 2 and "unknown rule" in output
+    code, output = run_cli("lint", str(tmp_path / "missing"))
+    assert code == 2 and "no such path" in output
+
+
+def test_cli_list_rules_mentions_every_rule():
+    code, output = run_cli("lint", "--list-rules")
+    assert code == 0
+    for rule in ALL_RULES:
+        assert rule.rule_id in output
+
+
+# ----------------------------------------------------------------------
+# The strict-typing gate, when the toolchain is present.
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_gate():
+    process = subprocess.run(
+        [shutil.which("mypy"), "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert process.returncode == 0, process.stdout + process.stderr
