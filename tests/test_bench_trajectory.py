@@ -1,0 +1,69 @@
+"""The bench artifact's cross-PR trajectory: each refresh re-embeds the
+previous file's history plus the previous run itself, so the committed
+``BENCH_perf.json`` accumulates a comparable perf record."""
+
+import json
+import os
+
+from tools.bench import TRAJECTORY_LIMIT, _trajectory_entry, load_trajectory
+
+
+def payload(version, trajectory=()):
+    return {
+        "schema": 2,
+        "package_version": version,
+        "generated_utc": "2026-01-01 00:00:00",
+        "length": 800,
+        "cpu_count": 2,
+        "workloads": {
+            "gups": {"records": 800, "seconds": 0.1, "records_per_sec": 8000},
+            "stream": {"records": 800, "seconds": 0.05, "records_per_sec": 16000},
+        },
+        "figures": {
+            "fig01": {"warm_cache_speedup": 10.0},
+        },
+        "trajectory": list(trajectory),
+    }
+
+
+def test_missing_file_starts_empty_history(tmp_path):
+    assert load_trajectory(str(tmp_path / "absent.json")) == []
+
+
+def test_corrupt_file_starts_empty_history(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert load_trajectory(str(path)) == []
+
+
+def test_previous_run_is_appended_to_its_own_history(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    older = _trajectory_entry(payload("0.9.0"))
+    path.write_text(json.dumps(payload("1.0.0", trajectory=[older])))
+
+    trajectory = load_trajectory(str(path))
+    assert [entry["package_version"] for entry in trajectory] == ["0.9.0", "1.0.0"]
+    newest = trajectory[-1]
+    assert newest["min_records_per_sec"] == 8000
+    assert newest["max_records_per_sec"] == 16000
+    assert newest["warm_cache_speedups"] == {"fig01": 10.0}
+    assert newest["length"] == 800
+
+
+def test_history_is_capped(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    old = [_trajectory_entry(payload("0.%d" % i)) for i in range(TRAJECTORY_LIMIT + 5)]
+    path.write_text(json.dumps(payload("1.0.0", trajectory=old)))
+
+    trajectory = load_trajectory(str(path))
+    assert len(trajectory) == TRAJECTORY_LIMIT
+    assert trajectory[-1]["package_version"] == "1.0.0"  # newest survives the cap
+
+
+def test_committed_artifact_has_a_trajectory():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "BENCH_perf.json")) as stream:
+        committed = json.load(stream)
+    assert committed["schema"] == 2
+    assert isinstance(committed["trajectory"], list)
+    assert committed["trajectory"], "committed BENCH_perf.json has an empty trajectory"

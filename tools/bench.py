@@ -13,7 +13,12 @@ Two measurements, written to ``BENCH_perf.json`` at the repo root:
   cache.  The ratios are the executor's measured speedups.
 
 Keep ``--length`` small: the point is a repeatable trajectory across
-PRs, not report-quality statistics.
+PRs, not report-quality statistics.  Each run carries the history
+forward: the previous file's ``trajectory`` list plus a compact entry
+for the previous run itself are re-embedded in the new file (newest
+last, capped), so the committed artifact accumulates a cross-PR record
+as long as every refresh uses the same ``--length``/``--jobs`` the CI
+perf-smoke job uses.
 """
 
 import argparse
@@ -83,6 +88,49 @@ def bench_figures(figures, length, jobs, cache_root):
             "warm_cache_simulated": warm_executor.counters["simulated"],
         }
     return rows
+
+
+#: Trajectory entries kept in the artifact (newest last).
+TRAJECTORY_LIMIT = 24
+
+
+def _trajectory_entry(payload):
+    """Compact one full bench payload into a single history row."""
+    workloads = payload.get("workloads", {})
+    rates = sorted(
+        row["records_per_sec"]
+        for row in workloads.values()
+        if row.get("records_per_sec")
+    )
+    entry = {
+        "package_version": payload.get("package_version"),
+        "generated_utc": payload.get("generated_utc"),
+        "length": payload.get("length"),
+        "cpu_count": payload.get("cpu_count"),
+        "min_records_per_sec": rates[0] if rates else None,
+        "max_records_per_sec": rates[-1] if rates else None,
+    }
+    figures = payload.get("figures", {})
+    if figures:
+        entry["warm_cache_speedups"] = {
+            name: row.get("warm_cache_speedup") for name, row in figures.items()
+        }
+    return entry
+
+
+def load_trajectory(path):
+    """History to embed in the next artifact: the previous file's
+    trajectory plus the previous run itself, capped at
+    :data:`TRAJECTORY_LIMIT`.  Missing or unreadable files start an
+    empty history rather than failing the bench."""
+    try:
+        with open(path) as stream:
+            previous = json.load(stream)
+    except (OSError, ValueError):
+        return []
+    trajectory = list(previous.get("trajectory", []))
+    trajectory.append(_trajectory_entry(previous))
+    return trajectory[-TRAJECTORY_LIMIT:]
 
 
 def main(argv=None):
@@ -156,8 +204,10 @@ def main(argv=None):
                     )
                 )
 
+    trajectory = load_trajectory(args.output)
     payload = {
-        "schema": 1,
+        "schema": 2,
+        "trajectory": trajectory,
         "package_version": __version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -170,7 +220,10 @@ def main(argv=None):
     with open(args.output, "w") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True)
         stream.write("\n")
-    print("wrote %s" % args.output)
+    print(
+        "wrote %s (%d trajectory entries carried forward)"
+        % (args.output, len(trajectory))
+    )
     return 0
 
 
