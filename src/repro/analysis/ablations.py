@@ -9,7 +9,11 @@ discussion; `benchmarks/test_ablation_*.py` regenerates them.
 Like the figure drivers, every ablation decomposes into independent
 simulation cells and runs through an
 :class:`~repro.exec.ExperimentExecutor` (pass ``executor=`` to share a
-pool and cache with other drivers).
+pool and cache with other drivers).  The executor's resilience layer
+applies unchanged: interrupted ablation sweeps resume from their
+checkpoint journals, and under ``allow_partial`` a permanently-failed
+cell degrades to an all-zero placeholder whose improvement columns read
+0 (every ratio here goes through the zero-guarded metrics helpers).
 """
 
 from dataclasses import replace

@@ -52,6 +52,17 @@ def _get_executor(executor):
     return executor if executor is not None else ExperimentExecutor()
 
 
+def _safe_ratio(numerator, denominator):
+    """``numerator / denominator``, but 0.0 on a zero denominator.
+
+    Baselines can legitimately read zero under degraded execution
+    (``--allow-partial`` renders permanently-failed cells as all-zero
+    placeholders); the improvement is then meaningless and renders as
+    0 rather than crashing figure assembly.
+    """
+    return numerator / denominator if denominator else 0.0
+
+
 class _CellBatch:
     """Collects a driver's cells, then resolves them all in one batch.
 
@@ -456,10 +467,14 @@ def fig16_bliss(mixes=None, length=6000, seed=0,
                 {
                     "mix": "+".join(mix),
                     "prefetch_weight": weight / 2.0,
-                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
-                    / base_result.weighted_speedup,
-                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
-                    / base_result.max_slowdown,
+                    "ws_improvement": _safe_ratio(
+                        result.weighted_speedup - base_result.weighted_speedup,
+                        base_result.weighted_speedup,
+                    ),
+                    "ms_improvement": _safe_ratio(
+                        base_result.max_slowdown - result.max_slowdown,
+                        base_result.max_slowdown,
+                    ),
                 }
             )
         for grace, shared_index in grace_runs:
@@ -468,10 +483,14 @@ def fig16_bliss(mixes=None, length=6000, seed=0,
                 {
                     "mix": "+".join(mix),
                     "grace_period": grace,
-                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
-                    / base_result.weighted_speedup,
-                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
-                    / base_result.max_slowdown,
+                    "ws_improvement": _safe_ratio(
+                        result.weighted_speedup - base_result.weighted_speedup,
+                        base_result.weighted_speedup,
+                    ),
+                    "ms_improvement": _safe_ratio(
+                        base_result.max_slowdown - result.max_slowdown,
+                        base_result.max_slowdown,
+                    ),
                 }
             )
     return {"figure": "fig16", "weight_rows": weight_rows, "grace_rows": grace_rows}
@@ -516,10 +535,14 @@ def fig17_subrows(mixes=None, length=6000, seed=0, dedicated_options=(0, 1, 2, 4
                     "allocation": allocation,
                     "mix": "+".join(mix),
                     "dedicated_subrows": dedicated,
-                    "ws_improvement": (result.weighted_speedup - base_result.weighted_speedup)
-                    / base_result.weighted_speedup,
-                    "ms_improvement": (base_result.max_slowdown - result.max_slowdown)
-                    / base_result.max_slowdown,
+                    "ws_improvement": _safe_ratio(
+                        result.weighted_speedup - base_result.weighted_speedup,
+                        base_result.weighted_speedup,
+                    ),
+                    "ms_improvement": _safe_ratio(
+                        base_result.max_slowdown - result.max_slowdown,
+                        base_result.max_slowdown,
+                    ),
                 }
             )
     return {"figure": "fig17", "rows": rows}

@@ -22,12 +22,23 @@ Commands:
     fig17) and print its table.  ``--jobs N`` fans the driver's
     simulation cells across N worker processes; results are served from
     (and persisted to) a content-addressed cache unless ``--no-cache``.
+    Sweeps are fault-tolerant (``docs/resilience.md``): failing cells
+    retry up to ``--max-retries`` times, ``--cell-timeout`` kills hung
+    workers, ``--resume`` continues an interrupted sweep from its
+    checkpoint journal with zero re-simulation, ``--allow-partial``
+    degrades exhausted cells to explicitly-missing results (exit code 3)
+    instead of aborting, and ``--faults`` injects deterministic faults
+    for testing.
 ``report -o FILE``
     Run every figure driver (and optionally the ablations) and write a
     markdown report with an embedded provenance manifest.  One executor
     is shared across all sections, so overlapping figures never
     simulate the same cell twice; ``--jobs`` / ``--no-cache`` /
-    ``--cache-dir`` work as for ``experiment``.
+    ``--cache-dir`` and the resilience flags (``--resume``,
+    ``--max-retries``, ``--cell-timeout``, ``--allow-partial``,
+    ``--faults``) work as for ``experiment``.  With ``--allow-partial``
+    a degraded report carries a banner listing the missing cells and
+    the run exits 3.
 ``lint [PATHS...]``
     Run simlint, the AST-based invariant linter (default target:
     ``src/repro``): no nondeterminism in timing-critical packages,
@@ -81,12 +92,42 @@ def _build_config(args):
 
 def _build_executor(args):
     """Executor for the experiment/report commands from their flags."""
-    from repro.exec import ExperimentExecutor, ResultCache, default_cache_dir
+    from repro.exec import (
+        ExperimentExecutor,
+        FaultSpec,
+        ResiliencePolicy,
+        ResultCache,
+        default_cache_dir,
+    )
 
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return ExperimentExecutor(jobs=args.jobs, cache=cache)
+    policy = ResiliencePolicy(
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        allow_partial=args.allow_partial,
+    )
+    faults = FaultSpec.parse(args.faults) if args.faults else None
+    return ExperimentExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        resilience=policy,
+        faults=faults,
+        resume=args.resume,
+    )
+
+
+def _executor_exit_code(executor, out):
+    """0 for a clean sweep, 3 when results are degraded (missing cells
+    under ``--allow-partial``)."""
+    if not executor.failed_cells:
+        return 0
+    out.write(
+        "warning: degraded results -- %d cell(s) missing after retries\n"
+        % len(executor.failed_cells)
+    )
+    return 3
 
 
 def _resolve_workload(args):
@@ -234,12 +275,23 @@ def _cmd_experiment(args, out):
             )
     elif args.workloads:
         kwargs["workloads"] = tuple(args.workloads)
-    executor = _build_executor(args)
-    result = driver(executor=executor, **kwargs)
+    from repro.exec import CellExecutionError, SweepAborted
+
+    try:
+        executor = _build_executor(args)
+    except ValueError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    try:
+        result = driver(executor=executor, **kwargs)
+    except (CellExecutionError, SweepAborted) as exc:
+        out.write(executor.summary() + "\n")
+        out.write("error: %s\n" % exc)
+        return 1
     out.write(render_experiment(result))
     out.write("\n")
     out.write(executor.summary() + "\n")
-    return 0
+    return _executor_exit_code(executor, out)
 
 
 def _cmd_lint(args, out):
@@ -285,20 +337,30 @@ def _cmd_lint(args, out):
 
 def _cmd_report(args, out):
     from repro.analysis.report import write_report
+    from repro.exec import CellExecutionError, SweepAborted
 
     def progress(message):
         out.write(message + "\n")
 
-    executor = _build_executor(args)
-    path = write_report(
-        args.output,
-        include_ablations=not args.no_ablations,
-        progress=progress,
-        executor=executor,
-    )
+    try:
+        executor = _build_executor(args)
+    except ValueError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    try:
+        path = write_report(
+            args.output,
+            include_ablations=not args.no_ablations,
+            progress=progress,
+            executor=executor,
+        )
+    except (CellExecutionError, SweepAborted) as exc:
+        out.write(executor.summary() + "\n")
+        out.write("error: %s\n" % exc)
+        return 1
     out.write(executor.summary() + "\n")
     out.write("report written to %s\n" % path)
-    return 0
+    return _executor_exit_code(executor, out)
 
 
 def build_parser():
@@ -376,6 +438,38 @@ def build_parser():
             "--cache-dir",
             metavar="PATH",
             help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-tempo)",
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="continue an interrupted sweep from its checkpoint journal "
+            "(completed cells are never re-simulated)",
+        )
+        sub.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="retries per failing cell before giving it up (default: 2)",
+        )
+        sub.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="kill and retry any cell running longer than this",
+        )
+        sub.add_argument(
+            "--allow-partial",
+            action="store_true",
+            help="after retries are exhausted, proceed with explicitly-marked "
+            "missing cells (exit code 3) instead of aborting",
+        )
+        sub.add_argument(
+            "--faults",
+            metavar="SPEC",
+            help="deterministic fault injection for testing, e.g. "
+            "'seed=0,kill=0.3,delay=0.2,delay-seconds=0.05,abort-after=4'",
         )
 
     experiment_parser = subparsers.add_parser(

@@ -10,14 +10,32 @@ architecture and the cache-key derivation.
 from repro.exec.cache import ResultCache, default_cache_dir
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell, trace_key
 from repro.exec.executor import ExperimentExecutor, simulate_cell
+from repro.exec.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.exec.resilience import (
+    CellExecutionError,
+    CellFailure,
+    CheckpointStore,
+    ResiliencePolicy,
+    SweepAborted,
+    missing_cell_payload,
+)
 from repro.exec.serialize import payload_to_result, result_to_payload
 
 __all__ = [
+    "CellExecutionError",
+    "CellFailure",
+    "CheckpointStore",
     "ExperimentExecutor",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "PAYLOAD_SCHEMA",
+    "ResiliencePolicy",
     "ResultCache",
     "SimCell",
+    "SweepAborted",
     "default_cache_dir",
+    "missing_cell_payload",
     "payload_to_result",
     "result_to_payload",
     "simulate_cell",

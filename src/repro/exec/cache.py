@@ -2,8 +2,10 @@
 
 Layout under the cache root::
 
-    results/<aa>/<key>.json    serialized SimulationResult payloads
-    traces/<aa>/<key>.trace    traceio-format generated traces
+    results/<aa>/<key>.json         serialized SimulationResult payloads
+    traces/<aa>/<key>.trace         traceio-format generated traces
+    quarantine/<aa>/<key>.<why>.json   corrupt/stale entries, moved aside
+    checkpoints/run-<digest>.journal   per-batch resume journals
 
 ``<key>`` is the SHA-256 identity from :mod:`repro.exec.cells`; ``<aa>``
 is its first two hex digits (fan-out so directories stay small).  Keys
@@ -61,15 +63,54 @@ class ResultCache:
 
     def get(self, key):
         """Return the stored payload dict for *key*, or ``None``."""
+        return self.get_entry(key)[0]
+
+    def get_entry(self, key):
+        """Return ``(payload, status)`` for *key*.
+
+        ``status`` is ``"hit"`` (payload is a dict), ``"miss"`` (no
+        entry), or ``"corrupt"`` (an entry exists but is torn,
+        unreadable, or not a JSON object).  Corrupt entries are what the
+        executor's quarantine path moves aside and re-simulates; for
+        plain :meth:`get` callers they are simply a miss.
+        """
         path = self._result_path(key)
         try:
             with open(path) as stream:
-                return json.load(stream)
+                payload = json.load(stream)
         except FileNotFoundError:
-            return None
+            return None, "miss"
         except (json.JSONDecodeError, OSError):
-            # A torn or unreadable entry is a miss, not an error.
+            return None, "corrupt"
+        if not isinstance(payload, dict):
+            return None, "corrupt"
+        return payload, "hit"
+
+    def result_path(self, key):
+        """Where *key*'s result entry lives (used by the fault harness
+        and tests to garble entries in place)."""
+        return self._result_path(key)
+
+    def quarantine(self, key, reason):
+        """Move *key*'s result entry aside -- never delete evidence.
+
+        The entry lands in ``quarantine/<aa>/`` with *reason* (e.g.
+        ``corrupt``, ``stale``) embedded in the filename, so a bad batch
+        of entries can be inspected after the fact.  Returns the new
+        path, or ``None`` when there was nothing to move.
+        """
+        path = self._result_path(key)
+        if not os.path.exists(path):
             return None
+        dest_dir = os.path.join(self.root, "quarantine", key[:2])
+        os.makedirs(dest_dir, exist_ok=True)
+        dest = os.path.join(dest_dir, "%s.%s.json" % (key, reason))
+        serial = 0
+        while os.path.exists(dest):
+            serial += 1
+            dest = os.path.join(dest_dir, "%s.%s.%d.json" % (key, reason, serial))
+        os.replace(path, dest)
+        return dest
 
     def put(self, key, payload):
         """Persist *payload* (a JSON-able dict) under *key*."""

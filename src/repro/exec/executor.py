@@ -1,4 +1,4 @@
-"""The parallel experiment executor.
+"""The parallel, fault-tolerant experiment executor.
 
 ``ExperimentExecutor.run_cells`` takes an ordered list of
 :class:`~repro.exec.cells.SimCell` and returns the matching
@@ -10,18 +10,40 @@ matter where each result came from:
    disk cache disabled),
 2. the content-addressed disk cache (same cell in any earlier
    invocation on this machine), or
-3. a fresh simulation -- inline when ``jobs == 1``, fanned out across a
-   ``multiprocessing`` pool otherwise.
+3. a fresh simulation -- inline when nothing requires process
+   isolation, otherwise one worker process per cell (at most ``jobs``
+   concurrent) through :func:`repro.exec.resilience.execute_resilient`.
+
+Fault tolerance (see ``docs/resilience.md``): every batch journals
+per-cell state to a :class:`~repro.exec.resilience.CheckpointStore`
+under the cache root, so an interrupted sweep resumed with
+``resume=True`` re-simulates nothing that completed.  Failing cells are
+retried per the :class:`~repro.exec.resilience.ResiliencePolicy`
+(timeouts kill the worker; crashes are detected from the exit code);
+corrupt or schema-stale cache entries are quarantined -- moved aside,
+never deleted -- and re-simulated; and with ``allow_partial`` a cell
+that exhausts its retries degrades to an explicitly-marked missing
+payload (recorded in :attr:`ExperimentExecutor.failed_cells`) instead
+of aborting the campaign.
 
 Determinism: cells carry their own seed and every simulation derives all
-randomness from it (:mod:`repro.common.rng`), so scheduling order cannot
-leak into results -- a pool run is bit-identical to a serial run.
+randomness from it (:mod:`repro.common.rng`), so scheduling order,
+retries, and resumption cannot leak into results -- an interrupted,
+resumed, parallel run is bit-identical to a serial uncached one.
 """
 
-import multiprocessing
+import os
 
 from repro.exec.cache import ResultCache
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
+from repro.exec.faults import FaultPlan, FaultSpec
+from repro.exec.resilience import (
+    CellExecutionError,
+    CheckpointStore,
+    ResiliencePolicy,
+    execute_resilient,
+    missing_cell_payload,
+)
 from repro.exec.serialize import payload_to_result, result_to_payload
 
 
@@ -54,33 +76,70 @@ def simulate_cell(cell, cache=None, trace_memo=None):
     return result_to_payload(result)
 
 
-def _pool_worker(args):
-    """Top-level (picklable) pool entry point: simulate one cell."""
-    cell, cache_root = args
-    cache = ResultCache(cache_root) if cache_root is not None else None
-    return simulate_cell(cell, cache)
+def _resilience_worker(cell, cache_root, attempt, plan, channel):
+    """Top-level worker entry point: one cell, one process.
+
+    Injects any scheduled faults first (a ``kill`` fault ``os._exit``s
+    right here, exactly like a crashed worker), then simulates and
+    reports ``(key, "ok", payload)`` or ``(key, "error", message)`` on
+    the cell's private result channel.
+    """
+    try:
+        if plan is not None:
+            plan.inject(cell.key(), attempt)
+        cache = ResultCache(cache_root) if cache_root is not None else None
+        channel.put((cell.key(), "ok", simulate_cell(cell, cache)))
+    except BaseException as exc:
+        try:
+            channel.put(
+                (cell.key(), "error", "%s: %s" % (type(exc).__name__, exc))
+            )
+        except Exception:
+            os._exit(70)
 
 
 class ExperimentExecutor:
     """Schedules cells across workers, through the cache, in order."""
 
-    def __init__(self, jobs=1, cache=None):
+    def __init__(self, jobs=1, cache=None, resilience=None, faults=None, resume=False):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         #: Optional :class:`~repro.exec.cache.ResultCache`; ``None``
         #: keeps everything in-process (the memo still deduplicates).
         self.cache = cache
+        #: :class:`~repro.exec.resilience.ResiliencePolicy` governing
+        #: retries, timeouts, and partial-result degradation.
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: Optional fault injection: a :class:`~repro.exec.faults.FaultSpec`
+        #: (materialized per batch) or a concrete ``FaultPlan``.
+        self.faults = faults
+        #: When True, trust the batch's checkpoint journal: cells it
+        #: records as done resolve from cache and count as ``resumed``.
+        self.resume = resume
+        #: Terminal :class:`~repro.exec.resilience.CellFailure` records
+        #: (only under ``allow_partial``; otherwise the batch raises).
+        self.failed_cells = []
         self._memo = {}
         self._trace_memo = {}
         #: Where results came from, cumulatively: ``simulated`` fresh
         #: runs, ``cache_hits`` disk loads, ``memo_hits`` in-process
-        #: reuse, ``deduped`` duplicate cells within one batch.
+        #: reuse, ``deduped`` duplicate cells within one batch -- plus
+        #: the resilience tallies (``resumed`` checkpoint-verified cache
+        #: hits, ``retries``/``timeouts``/``crashes`` recovered faults,
+        #: ``quarantined`` bad cache entries moved aside, ``failed``
+        #: cells degraded to missing).
         self.counters = {
             "simulated": 0,
             "cache_hits": 0,
             "memo_hits": 0,
             "deduped": 0,
+            "resumed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "quarantined": 0,
+            "failed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -99,55 +158,174 @@ class ExperimentExecutor:
             unique.setdefault(key, cell)
         self.counters["deduped"] += len(cells) - len(unique)
 
-        resolved = {}
-        pending = {}
-        for key, cell in unique.items():
-            payload = self._memo.get(key)
-            if payload is not None:
-                self.counters["memo_hits"] += 1
-                resolved[key] = payload
-                continue
-            if self.cache is not None:
-                payload = self.cache.get(key)
-                if payload is not None and payload.get("schema") == PAYLOAD_SCHEMA:
-                    self.counters["cache_hits"] += 1
-                    self._memo[key] = payload
+        plan = self._materialize_faults(unique)
+        self._inject_corruption(plan)
+
+        checkpoint = None
+        prior_done = set()
+        if self.cache is not None:
+            checkpoint = CheckpointStore.for_batch(self.cache.root, list(unique))
+            if self.resume:
+                prior_done = checkpoint.done_keys()
+            else:
+                checkpoint.reset()
+
+        try:
+            resolved = {}
+            pending = {}
+            for key, cell in unique.items():
+                payload = self._resolve_cached(key, prior_done, checkpoint)
+                if payload is not None:
                     resolved[key] = payload
                     continue
-            pending[key] = cell
+                pending[key] = cell
 
-        if pending:
-            self.counters["simulated"] += len(pending)
-            for key, payload in self._execute(pending):
-                self._memo[key] = payload
-                resolved[key] = payload
-                if self.cache is not None:
-                    self.cache.put(key, payload)
+            if pending:
+                self._execute(pending, resolved, plan, checkpoint)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
 
         return [payload_to_result(resolved[key]) for key in keys]
 
-    def _execute(self, pending):
-        """Simulate the missing cells; yields ``(key, payload)``."""
-        if self.jobs > 1 and len(pending) > 1:
-            cache_root = self.cache.root if self.cache is not None else None
-            items = [(cell, cache_root) for cell in pending.values()]
-            workers = min(self.jobs, len(items))
-            with multiprocessing.get_context().Pool(workers) as pool:
-                payloads = pool.map(_pool_worker, items)
-            return list(zip(pending.keys(), payloads))
-        return [
-            (key, simulate_cell(cell, self.cache, self._trace_memo))
-            for key, cell in pending.items()
-        ]
+    def _resolve_cached(self, key, prior_done, checkpoint):
+        """Try the memo, then the disk cache (quarantining bad entries).
+
+        Returns the payload or ``None`` when the cell must simulate.
+        """
+        payload = self._memo.get(key)
+        if payload is not None:
+            self.counters["memo_hits"] += 1
+            return payload
+        if self.cache is None:
+            return None
+        payload, status = self.cache.get_entry(key)
+        if status == "corrupt":
+            self.cache.quarantine(key, "corrupt")
+            self.counters["quarantined"] += 1
+            return None
+        if payload is None:
+            return None
+        if payload.get("schema") != PAYLOAD_SCHEMA:
+            self.cache.quarantine(key, "stale")
+            self.counters["quarantined"] += 1
+            return None
+        self.counters["cache_hits"] += 1
+        if key in prior_done:
+            self.counters["resumed"] += 1
+        self._memo[key] = payload
+        if checkpoint is not None:
+            checkpoint.record(key, "done", info="cache")
+        return payload
+
+    def _execute(self, pending, resolved, plan, checkpoint):
+        """Drive the missing cells through the resilient scheduler.
+
+        Completed payloads land in the memo, the disk cache, and the
+        checkpoint journal *as they finish*, so an abort mid-batch never
+        loses finished work.
+        """
+        failures = []
+
+        def on_state(key, state, attempt, info):
+            if checkpoint is not None:
+                checkpoint.record(key, state, attempt, info)
+
+        def on_done(key, payload, attempt):
+            self.counters["simulated"] += 1
+            self._memo[key] = payload
+            resolved[key] = payload
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            if checkpoint is not None:
+                checkpoint.record(key, "done", attempt)
+
+        def on_failed(failure):
+            failures.append(failure)
+            if checkpoint is not None:
+                checkpoint.record(
+                    failure.key, "failed", failure.attempts, failure.error
+                )
+
+        def run_inline(cell):
+            return simulate_cell(cell, self.cache, self._trace_memo)
+
+        cache_root = self.cache.root if self.cache is not None else None
+
+        def worker_args(cell, attempt, channel):
+            return (cell, cache_root, attempt, plan, channel)
+
+        stats = execute_resilient(
+            pending,
+            jobs=self.jobs,
+            policy=self.resilience,
+            plan=plan,
+            run_inline=run_inline,
+            worker=_resilience_worker,
+            worker_args=worker_args,
+            on_state=on_state,
+            on_done=on_done,
+            on_failed=on_failed,
+        )
+        for name in ("retries", "timeouts", "crashes"):
+            self.counters[name] += stats[name]
+
+        if failures:
+            self.failed_cells.extend(failures)
+            self.counters["failed"] += len(failures)
+            if not self.resilience.allow_partial:
+                raise CellExecutionError(failures)
+            for failure in failures:
+                # Degraded stand-in: never memoized or cached, so a
+                # later run retries the cell for real.
+                resolved[failure.key] = missing_cell_payload(pending[failure.key])
+
+    # ------------------------------------------------------------------
+
+    def _materialize_faults(self, unique):
+        """Resolve ``self.faults`` to a concrete plan for this batch."""
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, FaultPlan):
+            return self.faults
+        if isinstance(self.faults, FaultSpec):
+            return self.faults.materialize(list(unique))
+        raise TypeError("faults must be a FaultSpec or FaultPlan")
+
+    def _inject_corruption(self, plan):
+        """Garble the cache entries a fault plan marks for corruption
+        (the harness half of the quarantine test path)."""
+        if plan is None or self.cache is None:
+            return
+        for key in plan.corrupt:
+            path = self.cache.result_path(key)
+            if os.path.exists(path):
+                with open(path, "w") as stream:
+                    stream.write("{ this is not json")
 
     # ------------------------------------------------------------------
 
     def summary(self):
         """One status line: where this executor's results came from."""
-        return (
+        line = (
             "executor: %(simulated)d simulated, %(cache_hits)d from cache, "
             "%(memo_hits)d memoized, %(deduped)d deduplicated" % self.counters
         )
+        extras = [
+            "%d %s" % (self.counters[name], label)
+            for name, label in (
+                ("resumed", "resumed"),
+                ("retries", "retried"),
+                ("timeouts", "timed out"),
+                ("crashes", "crashed"),
+                ("quarantined", "quarantined"),
+                ("failed", "failed"),
+            )
+            if self.counters[name]
+        ]
+        if extras:
+            line += "; resilience: " + ", ".join(extras)
+        return line
 
     def __repr__(self):
         return "ExperimentExecutor(jobs=%d, cache=%r)" % (self.jobs, self.cache)

@@ -1,0 +1,545 @@
+"""Fault tolerance for the experiment executor.
+
+Large sweeps run thousands of cells; a single hung workload, crashed
+worker, or corrupted cache entry must cost one cell, not the campaign.
+This module wraps cell execution in four mechanisms (the executor wires
+them together; ``docs/resilience.md`` is the user-facing story):
+
+* :class:`ResiliencePolicy` -- per-cell timeouts and bounded retries
+  with deterministic linear backoff, plus the ``allow_partial`` switch
+  that turns exhausted retries into explicitly-missing cells instead of
+  an aborted sweep.
+* :class:`CheckpointStore` -- an append-only JSONL journal of per-cell
+  state (``pending``/``running``/``done``/``failed``) under the cache
+  directory, addressed by the batch's content hash.  A killed run
+  resumes with zero re-simulation of completed cells: their payloads
+  are already in the result cache, and the journal proves which ones.
+* :func:`execute_resilient` -- the scheduler.  Inline when isolation is
+  unnecessary; otherwise one worker process per cell (at most ``jobs``
+  concurrent), which is what makes kill-on-timeout and crashed-worker
+  detection (dead process, torn result channel) possible at all.
+* :func:`missing_cell_payload` -- the schema-correct zeroed payload a
+  permanently-failed cell degrades to under ``allow_partial``; every
+  breakdown reads 0 and ``stats["missing_cell"]`` marks it.
+
+Determinism: cells are pure functions of their identity, so no retry,
+timeout, re-queue, or resume can change a result -- an interrupted-and-
+resumed sweep is bit-identical to an uninterrupted one (enforced by
+``tests/test_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.process import BaseProcess
+from multiprocessing.queues import Queue as ProcessQueue
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.common.errors import ReproError
+from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
+from repro.exec.faults import FaultPlan
+
+Payload = Dict[str, Any]
+
+#: Seconds a zero-exit worker gets to flush its result channel before it
+#: is reclassified as crashed (covers the exit-before-drain race).
+_FLUSH_GRACE_SECONDS = 5.0
+
+#: Scheduler poll interval while waiting on worker processes.
+_POLL_SECONDS = 0.01
+
+
+class SweepAborted(ReproError):
+    """The sweep was deliberately interrupted mid-run (fault injection's
+    ``abort_after`` or an operator kill); the checkpoint journal holds
+    the completed prefix."""
+
+
+class CellExecutionError(ReproError):
+    """One or more cells exhausted their retries and ``allow_partial``
+    was off."""
+
+    def __init__(self, failures: Sequence["CellFailure"]) -> None:
+        self.failures = list(failures)
+        names = ", ".join(failure.workloads for failure in self.failures)
+        super().__init__(
+            "%d cell(s) failed after retries (%s); re-run with --allow-partial "
+            "to degrade instead of aborting" % (len(self.failures), names)
+        )
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard to try before giving a cell up.
+
+    ``max_retries`` bounds *re*-tries: a cell is attempted at most
+    ``max_retries + 1`` times.  ``cell_timeout`` (seconds of wall clock
+    per attempt) requires process isolation and kills the worker on
+    expiry.  ``backoff_seconds`` sleeps ``attempt * backoff_seconds``
+    before retry *attempt*.  ``allow_partial`` degrades exhausted cells
+    to :func:`missing_cell_payload` instead of raising
+    :class:`CellExecutionError`.
+    """
+
+    max_retries: int = 2
+    cell_timeout: Optional[float] = None
+    backoff_seconds: float = 0.0
+    allow_partial: bool = False
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Terminal record of one cell that exhausted its retries."""
+
+    key: str
+    workloads: str
+    attempts: int
+    error: str
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+
+class CheckpointStore:
+    """Append-only JSONL journal of per-cell state for one batch.
+
+    One line per transition: ``{"key": ..., "state": "pending" |
+    "running" | "done" | "failed", "attempt": N, "info": ...}``.  The
+    journal lives at ``<cache_root>/checkpoints/run-<digest>.journal``
+    where ``<digest>`` hashes the batch's sorted cell keys -- re-issuing
+    the same sweep finds the same journal, so ``--resume`` needs no run
+    id.  Replay keeps the last state per key and tolerates a torn final
+    line (the crash the journal exists to survive).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._stream: Optional[IO[str]] = None
+
+    @classmethod
+    def for_batch(cls, root: str, keys: Sequence[str]) -> "CheckpointStore":
+        """The journal for the batch identified by *keys* under *root*."""
+        canonical = "\n".join(sorted(set(keys)))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return cls(os.path.join(root, "checkpoints", "run-%s.journal" % digest))
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def reset(self) -> None:
+        """Start a fresh journal (a non-resume run discards history)."""
+        self.close()
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def record(self, key: str, state: str, attempt: int = 0, info: str = "") -> None:
+        """Append one state transition and flush it to the OS."""
+        if self._stream is None:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            self._stream = open(self.path, "a")
+        entry: Dict[str, Any] = {"key": key, "state": state, "attempt": attempt}
+        if info:
+            entry["info"] = info
+        self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def states(self) -> Dict[str, Dict[str, Any]]:
+        """Replay the journal: last recorded entry per cell key."""
+        states: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(self.path) as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a killed writer
+                    key = entry.get("key")
+                    if isinstance(key, str):
+                        states[key] = entry
+        except FileNotFoundError:
+            pass
+        return states
+
+    def done_keys(self) -> Set[str]:
+        """Cells whose last journaled state is ``done``."""
+        return {
+            key
+            for key, entry in self.states().items()
+            if entry.get("state") == "done"
+        }
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __repr__(self) -> str:
+        return "CheckpointStore(%r)" % self.path
+
+
+# ----------------------------------------------------------------------
+# Degraded results
+# ----------------------------------------------------------------------
+
+_ZERO_DRAM_REF_FIELDS = (
+    "ptw_leaf",
+    "ptw_upper",
+    "replay",
+    "other",
+    "prefetch",
+    "writeback",
+    "walks_with_dram_leaf",
+    "replay_also_dram",
+)
+
+_ZERO_SERVICE_FIELDS = ("llc", "row_buffer", "unaided")
+
+
+def missing_cell_payload(cell: SimCell) -> Payload:
+    """A schema-correct, all-zero payload standing in for a cell that
+    exhausted its retries under ``allow_partial``.
+
+    Every breakdown fraction of the rebuilt result reads 0.0 (the
+    metrics guards divide-by-zero to 0), ``stats["missing_cell"]`` is 1,
+    and the payload is never memoized or written to the cache -- a later
+    run retries the cell for real.
+    """
+    cores: List[Dict[str, Any]] = [
+        {
+            "workload_name": name,
+            "references": 0,
+            "runtime": {
+                "total_cycles": 0,
+                "dram_ptw_cycles": 0,
+                "dram_replay_cycles": 0,
+                "dram_other_cycles": 0,
+            },
+            "dram_refs": {field: 0 for field in _ZERO_DRAM_REF_FIELDS},
+            "replay_service": {field: 0 for field in _ZERO_SERVICE_FIELDS},
+        }
+        for name in cell.workloads
+    ]
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "cores": cores,
+        "energy_total": 0.0,
+        "superpage_fraction": 0.0,
+        "stats": {
+            "missing_cell": 1,
+            "manifest.workloads": "+".join(cell.workloads),
+            "manifest.seed": cell.seed,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# The resilient scheduler
+# ----------------------------------------------------------------------
+
+#: ``on_state(key, state, attempt, info)`` -- journal/counter hook.
+OnState = Callable[[str, str, int, str], None]
+#: ``on_done(key, payload, attempt)`` -- success hook (cache + memo).
+OnDone = Callable[[str, Payload, int], None]
+#: ``on_failed(failure)`` -- terminal-failure hook.
+OnFailed = Callable[[CellFailure], None]
+#: ``run_inline(cell)`` -- simulate in this process, return the payload.
+RunInline = Callable[[SimCell], Payload]
+#: ``worker_args(cell, attempt, queue)`` -- args for the worker target.
+WorkerArgs = Callable[[SimCell, int, Any], Tuple[Any, ...]]
+
+
+def needs_isolation(
+    jobs: int, policy: ResiliencePolicy, plan: Optional[FaultPlan]
+) -> bool:
+    """Whether cells must run in worker processes: parallelism, a kill
+    switch (timeouts), or kill faults all require a process boundary;
+    plain retries do not."""
+    if jobs > 1:
+        return True
+    if policy.cell_timeout is not None:
+        return True
+    return plan is not None and plan.has_kills()
+
+
+def execute_resilient(
+    pending: Mapping[str, SimCell],
+    *,
+    jobs: int,
+    policy: ResiliencePolicy,
+    plan: Optional[FaultPlan],
+    run_inline: RunInline,
+    worker: Callable[..., None],
+    worker_args: WorkerArgs,
+    on_state: OnState,
+    on_done: OnDone,
+    on_failed: OnFailed,
+) -> Dict[str, int]:
+    """Drive every pending cell to ``done`` or ``failed``.
+
+    Results, journal entries, and cache writes happen through the hooks
+    *as each cell completes*, so an abort (``SweepAborted``,
+    ``KeyboardInterrupt``) never loses finished work.  Returns scheduler
+    stats: ``retries``, ``timeouts``, ``crashes``.
+    """
+    if needs_isolation(jobs, policy, plan):
+        return _execute_isolated(
+            pending,
+            jobs=jobs,
+            policy=policy,
+            plan=plan,
+            worker=worker,
+            worker_args=worker_args,
+            on_state=on_state,
+            on_done=on_done,
+            on_failed=on_failed,
+        )
+    return _execute_inline(
+        pending,
+        policy=policy,
+        plan=plan,
+        run_inline=run_inline,
+        on_state=on_state,
+        on_done=on_done,
+        on_failed=on_failed,
+    )
+
+
+def _backoff(policy: ResiliencePolicy, attempt: int) -> None:
+    if policy.backoff_seconds > 0:
+        time.sleep(policy.backoff_seconds * attempt)
+
+
+def _check_abort(plan: Optional[FaultPlan], completed: int, total: int) -> None:
+    if (
+        plan is not None
+        and plan.abort_after is not None
+        and completed >= plan.abort_after
+        and completed < total
+    ):
+        raise SweepAborted(
+            "sweep aborted by fault injection after %d of %d cells"
+            % (completed, total)
+        )
+
+
+def _execute_inline(
+    pending: Mapping[str, SimCell],
+    *,
+    policy: ResiliencePolicy,
+    plan: Optional[FaultPlan],
+    run_inline: RunInline,
+    on_state: OnState,
+    on_done: OnDone,
+    on_failed: OnFailed,
+) -> Dict[str, int]:
+    """Serial in-process execution with retries (no kill switch)."""
+    stats = {"retries": 0, "timeouts": 0, "crashes": 0}
+    completed = 0
+    for key, cell in pending.items():
+        attempt = 0
+        while True:
+            on_state(key, "running", attempt, "")
+            try:
+                if plan is not None:
+                    plan.inject(key, attempt)
+                payload = run_inline(cell)
+            except (SweepAborted, KeyboardInterrupt):
+                raise
+            except Exception as exc:
+                error = "%s: %s" % (type(exc).__name__, exc)
+                attempt += 1
+                if attempt > policy.max_retries:
+                    on_failed(
+                        CellFailure(key, "+".join(cell.workloads), attempt, error)
+                    )
+                    break
+                stats["retries"] += 1
+                on_state(key, "pending", attempt, "retrying: %s" % error)
+                _backoff(policy, attempt)
+                continue
+            on_done(key, payload, attempt)
+            completed += 1
+            _check_abort(plan, completed, len(pending))
+            break
+    return stats
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("process", "channel", "deadline", "attempt", "dead_since")
+
+    def __init__(
+        self,
+        process: BaseProcess,
+        channel: ProcessQueue[Any],
+        deadline: Optional[float],
+        attempt: int,
+    ) -> None:
+        self.process = process
+        self.channel = channel
+        self.deadline = deadline
+        self.attempt = attempt
+        self.dead_since: Optional[float] = None
+
+
+def _reap(entry: _Running) -> None:
+    """Tear one worker down, forcefully if needed."""
+    process = entry.process
+    if process.is_alive():
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(1.0)
+    else:
+        process.join(0.1)
+    entry.channel.close()
+
+
+def _execute_isolated(
+    pending: Mapping[str, SimCell],
+    *,
+    jobs: int,
+    policy: ResiliencePolicy,
+    plan: Optional[FaultPlan],
+    worker: Callable[..., None],
+    worker_args: WorkerArgs,
+    on_state: OnState,
+    on_done: OnDone,
+    on_failed: OnFailed,
+) -> Dict[str, int]:
+    """One worker process per cell, at most *jobs* concurrent.
+
+    Per-cell isolation is what buys the hard guarantees: a timeout
+    kills exactly one worker, a crashed worker (non-zero exit, kill
+    fault, OOM) is detected from its exit code instead of hanging the
+    batch, and each cell has a private result channel so a torn write
+    can never corrupt a sibling's result.
+    """
+    stats = {"retries": 0, "timeouts": 0, "crashes": 0}
+    context = multiprocessing.get_context()
+    waiting: Deque[str] = deque(pending)
+    attempts: Dict[str, int] = {key: 0 for key in pending}
+    retry_at: List[Tuple[float, str]] = []
+    running: Dict[str, _Running] = {}
+    finished: Set[str] = set()
+    completed = 0
+    total = len(pending)
+
+    def retry_or_fail(key: str, error: str) -> None:
+        attempts[key] += 1
+        if attempts[key] > policy.max_retries:
+            on_failed(
+                CellFailure(
+                    key, "+".join(pending[key].workloads), attempts[key], error
+                )
+            )
+            finished.add(key)
+            return
+        stats["retries"] += 1
+        on_state(key, "pending", attempts[key], "retrying: %s" % error)
+        retry_at.append(
+            (time.monotonic() + policy.backoff_seconds * attempts[key], key)
+        )
+
+    try:
+        while len(finished) < total:
+            now = time.monotonic()
+            for due, key in list(retry_at):
+                if due <= now:
+                    retry_at.remove((due, key))
+                    waiting.append(key)
+            while waiting and len(running) < jobs:
+                key = waiting.popleft()
+                attempt = attempts[key]
+                channel: ProcessQueue[Any] = context.Queue()
+                process = context.Process(
+                    target=worker, args=worker_args(pending[key], attempt, channel)
+                )
+                process.daemon = True
+                process.start()
+                on_state(key, "running", attempt, "")
+                deadline = (
+                    now + policy.cell_timeout
+                    if policy.cell_timeout is not None
+                    else None
+                )
+                running[key] = _Running(process, channel, deadline, attempt)
+            progressed = False
+            for key, entry in list(running.items()):
+                message: Optional[Tuple[str, str, Any]] = None
+                try:
+                    message = entry.channel.get_nowait()
+                except queue_module.Empty:
+                    pass
+                now = time.monotonic()
+                if message is not None:
+                    del running[key]
+                    _reap(entry)
+                    _, status, body = message
+                    if status == "ok":
+                        on_done(key, body, entry.attempt)
+                        finished.add(key)
+                        completed += 1
+                        _check_abort(plan, completed, total)
+                    else:
+                        retry_or_fail(key, str(body))
+                    progressed = True
+                elif entry.deadline is not None and now > entry.deadline:
+                    del running[key]
+                    _reap(entry)
+                    stats["timeouts"] += 1
+                    retry_or_fail(
+                        key, "timed out after %.1fs" % (policy.cell_timeout or 0.0)
+                    )
+                    progressed = True
+                elif not entry.process.is_alive():
+                    code = entry.process.exitcode
+                    if code == 0:
+                        # Exited cleanly; the result is still flushing
+                        # through the channel.  Give it a grace window.
+                        if entry.dead_since is None:
+                            entry.dead_since = now
+                        elif now - entry.dead_since > _FLUSH_GRACE_SECONDS:
+                            del running[key]
+                            _reap(entry)
+                            stats["crashes"] += 1
+                            retry_or_fail(key, "worker exited without a result")
+                            progressed = True
+                    else:
+                        del running[key]
+                        _reap(entry)
+                        stats["crashes"] += 1
+                        retry_or_fail(key, "worker crashed (exit %s)" % code)
+                        progressed = True
+            if not progressed:
+                time.sleep(_POLL_SECONDS)
+    finally:
+        for entry in running.values():
+            _reap(entry)
+    return stats

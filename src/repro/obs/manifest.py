@@ -14,7 +14,7 @@ import dataclasses
 import hashlib
 import json
 import platform
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 def config_snapshot(config: Any) -> Dict[str, Any]:
@@ -26,6 +26,56 @@ def config_hash(config: Any) -> str:
     """SHA-256 over the canonical JSON of the config snapshot."""
     canonical = json.dumps(config_snapshot(config), sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
+    """``(field, value)`` provenance rows for an
+    :class:`~repro.exec.ExperimentExecutor`: where every result came
+    from, what the resilience layer had to absorb to get there, and --
+    when a sweep was allowed to degrade -- exactly which cells are
+    missing.  The report renders these under its Provenance section.
+    """
+    counters: Dict[str, int] = dict(executor.counters)
+    rows: List[Tuple[str, str]] = [
+        (
+            "executor",
+            "jobs=%d; %d simulated, %d cache hits, %d memo hits, %d deduplicated"
+            % (
+                executor.jobs,
+                counters.get("simulated", 0),
+                counters.get("cache_hits", 0),
+                counters.get("memo_hits", 0),
+                counters.get("deduped", 0),
+            ),
+        )
+    ]
+    resilience = [
+        "%d %s" % (counters.get(name, 0), label)
+        for name, label in (
+            ("resumed", "resumed"),
+            ("retries", "retried"),
+            ("timeouts", "timed out"),
+            ("crashes", "crashed workers"),
+            ("quarantined", "quarantined entries"),
+            ("failed", "failed cells"),
+        )
+        if counters.get(name, 0)
+    ]
+    if resilience:
+        rows.append(("resilience", ", ".join(resilience)))
+    failed = list(getattr(executor, "failed_cells", ()))
+    if failed:
+        rows.append(
+            (
+                "degraded",
+                "missing cells: "
+                + ", ".join(
+                    "%s (`%s`)" % (failure.workloads, failure.key[:12])
+                    for failure in failed
+                ),
+            )
+        )
+    return rows
 
 
 class RunManifest:

@@ -1,0 +1,350 @@
+"""Fault-tolerance tests: retries, timeouts, crashes, quarantine, resume.
+
+The contract under test extends test_exec's: not only must every
+execution path produce bit-identical results, every *failure* path must
+too.  A worker killed mid-cell, a cell that times out and retries, a
+corrupted cache entry, or a sweep aborted at a checkpoint and resumed --
+none of it may change a single bit of the final stats (wall-clock
+``manifest.timing.*`` excluded, as everywhere).
+
+Faults are injected deterministically through
+:class:`repro.exec.FaultPlan` / :class:`repro.exec.FaultSpec`
+(``docs/resilience.md``), so these tests exercise the real process
+isolation, kill, and resume machinery without any flakiness.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.exec import (
+    CellExecutionError,
+    CheckpointStore,
+    ExperimentExecutor,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    PAYLOAD_SCHEMA,
+    ResiliencePolicy,
+    ResultCache,
+    SimCell,
+    SweepAborted,
+    missing_cell_payload,
+    payload_to_result,
+)
+
+LENGTH = 600
+
+
+def _cells(count=4):
+    config = default_system_config()
+    return [SimCell("xsbench", config, LENGTH, seed=seed) for seed in range(count)]
+
+
+def _comparable_stats(result):
+    return {
+        key: value
+        for key, value in result.stats.items()
+        if not key.startswith("manifest.timing")
+    }
+
+
+def _slot_dict(obj):
+    return {name: getattr(obj, name) for name in type(obj).__slots__}
+
+
+def _assert_identical(expected, actual):
+    assert actual.total_cycles == expected.total_cycles
+    assert actual.energy_total == expected.energy_total
+    assert actual.superpage_fraction == expected.superpage_fraction
+    for mine, theirs in zip(expected.cores, actual.cores):
+        assert theirs.workload_name == mine.workload_name
+        assert theirs.references == mine.references
+        assert _slot_dict(theirs.runtime) == _slot_dict(mine.runtime)
+        assert _slot_dict(theirs.dram_refs) == _slot_dict(mine.dram_refs)
+        assert _slot_dict(theirs.replay_service) == _slot_dict(mine.replay_service)
+    assert _comparable_stats(actual) == _comparable_stats(expected)
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    """The fault-free reference: four cells, serial, uncached."""
+    return ExperimentExecutor().run_cells(_cells())
+
+
+# ----------------------------------------------------------------------
+# Retries: in-process faults and crashed workers
+# ----------------------------------------------------------------------
+
+
+def test_inline_injected_fault_retries_to_identical_result(tmp_path, clean_results):
+    cells = _cells()
+    plan = FaultPlan(fail={cells[1].key(): (0,), cells[3].key(): (0,)})
+    executor = ExperimentExecutor(cache=ResultCache(str(tmp_path)), faults=plan)
+    results = executor.run_cells(cells)
+    assert executor.counters["retries"] == 2
+    assert executor.counters["simulated"] == 4
+    assert not executor.failed_cells
+    for expected, actual in zip(clean_results, results):
+        _assert_identical(expected, actual)
+
+
+def test_worker_crash_mid_batch_requeues_on_fresh_worker(tmp_path, clean_results):
+    """A kill fault ``os._exit``s the worker mid-cell; the scheduler must
+    detect the dead process and re-run the cell, not hang the batch."""
+    cells = _cells()
+    plan = FaultPlan(kill={cells[0].key(): (0,), cells[2].key(): (0,)})
+    executor = ExperimentExecutor(
+        jobs=2, cache=ResultCache(str(tmp_path)), faults=plan
+    )
+    results = executor.run_cells(cells)
+    assert executor.counters["crashes"] == 2
+    assert executor.counters["retries"] == 2
+    for expected, actual in zip(clean_results, results):
+        _assert_identical(expected, actual)
+
+
+def test_cell_timeout_kills_then_succeeds_on_retry(tmp_path, clean_results):
+    """A delayed cell exceeds its timeout, is killed, and succeeds on the
+    retry (injected faults fire on attempt 0 only)."""
+    cells = _cells(2)
+    plan = FaultPlan(delay={cells[1].key(): ((0, 30.0),)})
+    executor = ExperimentExecutor(
+        jobs=2,
+        cache=ResultCache(str(tmp_path)),
+        faults=plan,
+        resilience=ResiliencePolicy(max_retries=2, cell_timeout=5.0),
+    )
+    results = executor.run_cells(cells)
+    assert executor.counters["timeouts"] == 1
+    assert executor.counters["retries"] == 1
+    for expected, actual in zip(clean_results[:2], results):
+        _assert_identical(expected, actual)
+
+
+# ----------------------------------------------------------------------
+# Retries exhausted: abort vs graceful degradation
+# ----------------------------------------------------------------------
+
+
+def test_exhausted_retries_raise_without_allow_partial(tmp_path):
+    cells = _cells(2)
+    plan = FaultPlan(fail={cells[0].key(): (0, 1)})
+    executor = ExperimentExecutor(
+        cache=ResultCache(str(tmp_path)),
+        faults=plan,
+        resilience=ResiliencePolicy(max_retries=1),
+    )
+    with pytest.raises(CellExecutionError) as excinfo:
+        executor.run_cells(cells)
+    assert len(excinfo.value.failures) == 1
+    assert excinfo.value.failures[0].workloads == "xsbench"
+    # The healthy cell still completed and was cached before the raise.
+    assert executor.counters["simulated"] == 1
+
+
+def test_allow_partial_degrades_to_marked_missing_cells(tmp_path, clean_results):
+    cells = _cells(2)
+    plan = FaultPlan(fail={cells[0].key(): (0, 1)})
+    executor = ExperimentExecutor(
+        cache=ResultCache(str(tmp_path)),
+        faults=plan,
+        resilience=ResiliencePolicy(max_retries=1, allow_partial=True),
+    )
+    results = executor.run_cells(cells)
+    assert executor.counters["failed"] == 1
+    assert len(executor.failed_cells) == 1
+    assert executor.failed_cells[0].key == cells[0].key()
+    # The missing cell is explicit zeros with the marker stat...
+    assert results[0].stats["missing_cell"] == 1
+    assert results[0].total_cycles == 0
+    # ...the healthy one is untouched...
+    _assert_identical(clean_results[1], results[1])
+    # ...and the placeholder was never cached: a later run re-simulates.
+    retry = ExperimentExecutor(cache=ResultCache(str(tmp_path)))
+    fresh = retry.run_cells(cells)
+    assert retry.counters["simulated"] == 1
+    assert retry.counters["cache_hits"] == 1
+    _assert_identical(clean_results[0], fresh[0])
+
+
+def test_missing_cell_payload_is_schema_correct():
+    cell = SimCell("xsbench", default_system_config(), LENGTH)
+    payload = missing_cell_payload(cell)
+    assert payload["schema"] == PAYLOAD_SCHEMA
+    result = payload_to_result(json.loads(json.dumps(payload)))
+    assert result.stats["missing_cell"] == 1
+    assert result.core.runtime.fraction("ptw") == 0.0
+    assert result.core.replay_service.fraction("llc") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Quarantine: bad cache entries are moved aside, never deleted
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_entry_is_quarantined_and_resimulated(tmp_path, clean_results):
+    cache = ResultCache(str(tmp_path))
+    cells = _cells(1)
+    seeded = ExperimentExecutor(cache=cache)
+    seeded.run_cells(cells)
+
+    path = cache.result_path(cells[0].key())
+    with open(path, "w") as stream:
+        stream.write("{ torn write")
+
+    executor = ExperimentExecutor(cache=cache)
+    results = executor.run_cells(cells)
+    assert executor.counters["quarantined"] == 1
+    assert executor.counters["simulated"] == 1
+    assert executor.counters["cache_hits"] == 0
+    _assert_identical(clean_results[0], results[0])
+    # The bad entry was preserved, not deleted.
+    quarantine_dir = os.path.join(str(tmp_path), "quarantine")
+    quarantined = [
+        name
+        for _, _, names in os.walk(quarantine_dir)
+        for name in names
+    ]
+    assert len(quarantined) == 1
+    assert "corrupt" in quarantined[0]
+
+
+def test_stale_schema_entry_is_quarantined(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cells = _cells(1)
+    ExperimentExecutor(cache=cache).run_cells(cells)
+
+    path = cache.result_path(cells[0].key())
+    with open(path) as stream:
+        payload = json.load(stream)
+    payload["schema"] = PAYLOAD_SCHEMA + 1
+    with open(path, "w") as stream:
+        json.dump(payload, stream)
+
+    executor = ExperimentExecutor(cache=cache)
+    executor.run_cells(cells)
+    assert executor.counters["quarantined"] == 1
+    assert executor.counters["simulated"] == 1
+    quarantined = [
+        name
+        for _, _, names in os.walk(os.path.join(str(tmp_path), "quarantine"))
+        for name in names
+    ]
+    assert quarantined and "stale" in quarantined[0]
+
+
+def test_fault_plan_corruption_feeds_quarantine(tmp_path):
+    """The harness's ``corrupt`` fault garbles real entries in place and
+    the next resolution quarantines and re-simulates them."""
+    cache = ResultCache(str(tmp_path))
+    cells = _cells(2)
+    ExperimentExecutor(cache=cache).run_cells(cells)
+
+    plan = FaultPlan(corrupt=(cells[0].key(),))
+    executor = ExperimentExecutor(cache=cache, faults=plan)
+    executor.run_cells(cells)
+    assert executor.counters["quarantined"] == 1
+    assert executor.counters["simulated"] == 1
+    assert executor.counters["cache_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume: killed mid-run, zero re-simulation
+# ----------------------------------------------------------------------
+
+
+def test_kill_at_checkpoint_then_resume_is_bit_identical(tmp_path, clean_results):
+    """The acceptance scenario: a sweep aborted mid-run and resumed must
+    produce bit-identical results with zero re-simulated cells."""
+    cache_root = str(tmp_path)
+    cells = _cells()
+    keys = [cell.key() for cell in cells]
+
+    aborted = ExperimentExecutor(
+        jobs=2, cache=ResultCache(cache_root), faults=FaultPlan(abort_after=2)
+    )
+    with pytest.raises(SweepAborted):
+        aborted.run_cells(cells)
+    # The journal shows exactly the completed prefix.
+    journal = CheckpointStore.for_batch(cache_root, keys)
+    assert len(journal.done_keys()) == 2
+
+    resumed = ExperimentExecutor(jobs=2, cache=ResultCache(cache_root), resume=True)
+    results = resumed.run_cells(cells)
+    # Zero re-simulation of completed cells: 2 resumed from the journal,
+    # only the 2 interrupted ones simulated.
+    assert resumed.counters["resumed"] == 2
+    assert resumed.counters["cache_hits"] == 2
+    assert resumed.counters["simulated"] == 2
+    for expected, actual in zip(clean_results, results):
+        _assert_identical(expected, actual)
+    # And the journal now records the whole batch as done.
+    assert journal.done_keys() == set(keys)
+
+
+def test_non_resume_run_discards_stale_journal(tmp_path):
+    cache_root = str(tmp_path)
+    cells = _cells(2)
+    keys = [cell.key() for cell in cells]
+    journal = CheckpointStore.for_batch(cache_root, keys)
+    journal.record(keys[0], "done")
+    journal.close()
+
+    executor = ExperimentExecutor(cache=ResultCache(cache_root))
+    executor.run_cells(cells)
+    # Without --resume the journal was reset: nothing counts as resumed.
+    assert executor.counters["resumed"] == 0
+    assert executor.counters["simulated"] == 2
+
+
+def test_checkpoint_store_replay_semantics(tmp_path):
+    journal = CheckpointStore.for_batch(str(tmp_path), ["k1", "k2"])
+    journal.record("k1", "running", 0)
+    journal.record("k1", "done", 0)
+    journal.record("k2", "running", 0)
+    journal.record("k2", "failed", 2, "boom")
+    journal.close()
+    # Last state wins.
+    states = journal.states()
+    assert states["k1"]["state"] == "done"
+    assert states["k2"]["state"] == "failed"
+    assert states["k2"]["info"] == "boom"
+    assert journal.done_keys() == {"k1"}
+    # A torn final line (killed writer) is tolerated.
+    with open(journal.path, "a") as stream:
+        stream.write('{"key": "k2", "state": "do')
+    assert journal.done_keys() == {"k1"}
+    # The journal address depends only on the key set, not its order.
+    assert (
+        CheckpointStore.for_batch(str(tmp_path), ["k2", "k1"]).path == journal.path
+    )
+
+
+# ----------------------------------------------------------------------
+# The fault harness itself
+# ----------------------------------------------------------------------
+
+
+def test_fault_spec_parse_and_determinism():
+    spec = FaultSpec.parse("seed=7,kill=0.5,fail=0.25,delay=0.5,delay-seconds=0.2")
+    assert spec.seed == 7
+    assert spec.kill_rate == 0.5
+    assert spec.delay_seconds == 0.2
+    keys = ["cell-%d" % index for index in range(32)]
+    first = spec.materialize(keys)
+    second = spec.materialize(list(reversed(keys)))
+    # Same spec, same keys -> the same plan, regardless of order.
+    assert first == second
+    assert any(first.kill.values())
+    with pytest.raises(ValueError):
+        FaultSpec.parse("seed=1,unknown=2")
+
+
+def test_fault_plan_inject_raises_on_schedule():
+    plan = FaultPlan(fail={"k": (1,)}, delay={"k": ((0, 0.0),)})
+    plan.inject("k", 0)  # nothing scheduled on attempt 0
+    with pytest.raises(InjectedFault):
+        plan.inject("k", 1)
