@@ -6,6 +6,7 @@ experiments stay reproducible.
 """
 
 from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatGroup
 
@@ -32,7 +33,7 @@ class Cache:
 
     def __init__(self, config, name="cache", rng=None):
         if not isinstance(config, CacheConfig):
-            raise TypeError("config must be a CacheConfig")
+            raise ConfigError("config must be a CacheConfig, got %s" % type(config).__name__)
         config.validate()
         self.config = config
         self.name = name

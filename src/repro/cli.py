@@ -39,6 +39,12 @@ Commands:
     ``--faults``) work as for ``experiment``.  With ``--allow-partial``
     a degraded report carries a banner listing the missing cells and
     the run exits 3.
+``verify``
+    Run the differential/metamorphic oracle suite (``repro.verify``):
+    fast-path vs event-engine equivalence, run-to-run determinism,
+    TEMPO's replay-reduction metamorphic, trace-length monotonicity,
+    and a full online-audit run.  ``--quick`` shrinks the runs for CI
+    smoke use; exits 1 when any oracle fails.
 ``lint [PATHS...]``
     Run simlint, the AST-based invariant linter (default target:
     ``src/repro``): no nondeterminism in timing-critical packages,
@@ -55,6 +61,7 @@ import sys
 from dataclasses import replace
 
 from repro.common.config import default_system_config
+from repro.verify.auditor import FULL_INTERVAL as _FULL_INTERVAL
 from repro.obs import EventTracer, write_stats_csv, write_stats_json
 from repro.sim.runner import (
     energy_fraction,
@@ -90,6 +97,13 @@ def _build_config(args):
     return config
 
 
+def _invariant_mode(args):
+    """The ``--check-invariants`` value, with ``off`` mapped to None so
+    the simulator's zero-cost path stays literally ``audit is None``."""
+    mode = getattr(args, "check_invariants", "off")
+    return None if mode == "off" else mode
+
+
 def _build_executor(args):
     """Executor for the experiment/report commands from their flags."""
     from repro.exec import (
@@ -115,6 +129,7 @@ def _build_executor(args):
         resilience=policy,
         faults=faults,
         resume=args.resume,
+        check_invariants=_invariant_mode(args),
     )
 
 
@@ -194,6 +209,7 @@ def _cmd_run(args, out):
         length=args.length,
         seed=args.seed,
         tracer=tracer,
+        check_invariants=_invariant_mode(args),
     )
     _print_result(result, out)
     _export_observability(result, tracer, args, out)
@@ -209,6 +225,7 @@ def _cmd_stats(args, out):
         length=args.length,
         seed=args.seed,
         tracer=tracer,
+        check_invariants=_invariant_mode(args),
     )
     stats = result.stats
     if args.filter:
@@ -292,6 +309,22 @@ def _cmd_experiment(args, out):
     out.write("\n")
     out.write(executor.summary() + "\n")
     return _executor_exit_code(executor, out)
+
+
+def _cmd_verify(args, out):
+    from repro.verify import run_verification
+
+    results = run_verification(
+        out=lambda line: out.write(line + "\n"),
+        quick=args.quick,
+        length=args.length,
+        seed=args.seed,
+    )
+    failed = [result for result in results if not result.passed]
+    out.write(
+        "%d/%d oracles passed\n" % (len(results) - len(failed), len(results))
+    )
+    return 1 if failed else 0
 
 
 def _cmd_lint(args, out):
@@ -384,6 +417,16 @@ def build_parser():
         sub.add_argument("--imp", action="store_true", help="enable the IMP prefetcher")
         sub.add_argument("--memhog", type=float, help="memhog fragmentation fraction")
 
+    def add_invariant_flag(sub):
+        sub.add_argument(
+            "--check-invariants",
+            choices=("off", "sample", "full"),
+            default="off",
+            help="online invariant audits: 'off' is bit-identical and "
+            "near-zero-cost, 'sample' checkpoints sparsely, 'full' audits "
+            "every %d records (see docs/verification.md)" % _FULL_INTERVAL,
+        )
+
     def add_observability(sub):
         sub.add_argument(
             "--stats-json",
@@ -399,6 +442,7 @@ def build_parser():
     run_parser = subparsers.add_parser("run", help="simulate one workload")
     add_common(run_parser)
     add_observability(run_parser)
+    add_invariant_flag(run_parser)
     run_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
 
     stats_parser = subparsers.add_parser(
@@ -406,6 +450,7 @@ def build_parser():
     )
     add_common(stats_parser)
     add_observability(stats_parser)
+    add_invariant_flag(stats_parser)
     stats_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
     stats_parser.add_argument(
         "--filter", metavar="PREFIX", help="only metrics whose key starts with PREFIX"
@@ -479,6 +524,7 @@ def build_parser():
     experiment_parser.add_argument("--length", type=int, default=8000)
     experiment_parser.add_argument("--workloads", nargs="*", default=None)
     add_executor_flags(experiment_parser)
+    add_invariant_flag(experiment_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="run every figure driver and write a markdown report"
@@ -488,6 +534,22 @@ def build_parser():
         "--no-ablations", action="store_true", help="figures only (faster)"
     )
     add_executor_flags(report_parser)
+    add_invariant_flag(report_parser)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="run the differential/metamorphic oracle suite"
+    )
+    verify_parser.add_argument(
+        "--quick", action="store_true", help="shorter runs (CI smoke mode)"
+    )
+    verify_parser.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace records per oracle run (default: 4000, or 1200 with --quick)",
+    )
+    verify_parser.add_argument("--seed", type=int, default=0)
 
     lint_parser = subparsers.add_parser(
         "lint", help="run simlint, the AST-based invariant linter"
@@ -522,6 +584,7 @@ def main(argv=None, out=None):
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "verify": _cmd_verify,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args, out)

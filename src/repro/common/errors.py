@@ -1,12 +1,46 @@
-"""Exception hierarchy for the TEMPO reproduction."""
+"""Exception hierarchy for the TEMPO reproduction.
+
+Every error carries an optional structured ``context`` dict (cycle,
+core, vaddr, active request, ...) populated at the raise site so that
+crash reports from resilient runs say *what the simulator was doing*,
+not just what went wrong.  ``repro.verify`` attaches a flight-recorder
+dump under the ``"flight_recorder"`` key before the error escapes
+``SystemSimulator.run``.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
+
+
+def _format_context(context: Dict[str, Any]) -> str:
+    """``[cycle=42 core=0 vaddr=0x1000]`` — flight-recorder dumps are
+    elided (they are large; they belong in the JSON crash report)."""
+    parts = []
+    for key in context:
+        if key == "flight_recorder":
+            continue
+        value = context[key]
+        if key.endswith(("addr", "paddr", "vaddr", "pc")) and isinstance(value, int):
+            parts.append("%s=0x%x" % (key, value))
+        else:
+            parts.append("%s=%r" % (key, value))
+    return " ".join(parts)
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``context`` is a free-form structured payload describing the machine
+    state at the raise site; it is merged into crash reports and the
+    run manifest rather than (fully) into ``str(exc)``.
+    """
+
+    def __init__(
+        self, message: str = "", context: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.context: Dict[str, Any] = dict(context) if context else {}
+        super().__init__(message)
 
 
 class ConfigError(ReproError):
@@ -23,9 +57,25 @@ class TranslationFault(ReproError):
     in the workload generator rather than expected behaviour.
     """
 
-    def __init__(self, vaddr: int, message: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        vaddr: int,
+        message: Optional[str] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.vaddr = vaddr
-        super().__init__(message or "no translation for virtual address 0x%x" % vaddr)
+        super().__init__(
+            message or "no translation for virtual address 0x%x" % vaddr,
+            context,
+        )
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.context:
+            extra = _format_context(self.context)
+            if extra:
+                return "%s [%s]" % (base, extra)
+        return base
 
 
 class AllocationError(ReproError):
@@ -39,3 +89,25 @@ class MappingError(ReproError):
 
 class SimulationError(ReproError):
     """Internal inconsistency detected during simulation."""
+
+
+class InvariantViolation(SimulationError):
+    """An online invariant audit (``repro.verify``) failed.
+
+    Deterministic by construction: re-running the same cell reproduces
+    the same violation, so the executor treats it as terminal (no
+    retries) and quarantines the cell instead of caching it.
+    """
+
+    def __init__(
+        self,
+        auditor: str,
+        invariant: str,
+        message: str,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.auditor = auditor
+        self.invariant = invariant
+        super().__init__(
+            "[%s/%s] %s" % (auditor, invariant, message), context
+        )

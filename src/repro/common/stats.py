@@ -130,6 +130,21 @@ class StatGroup:
             self._children[name] = found
         return found
 
+    def peek(self, name: str) -> int:
+        """Read counter *name* without creating it (0 when absent).
+
+        Invariant auditors (:mod:`repro.verify`) use this: calling
+        :meth:`counter` from an audit would materialise a zero-valued
+        counter in the stats export and break the off-vs-full
+        bit-identity guarantee.
+        """
+        found = self._counters.get(name)
+        return 0 if found is None else found.value
+
+    def peek_child(self, name: str) -> Optional[StatGroup]:
+        """Read child group *name* without creating it."""
+        return self._children.get(name)
+
     def ratio(self, numerator: str, denominator: str) -> float:
         """hits/(hits+misses)-style convenience: value of counter
         *numerator* divided by the sum of both counters (0.0 if empty)."""

@@ -11,6 +11,7 @@ trade-off; units are arbitrary ("energy units") since only ratios are
 reported.
 """
 
+from repro.common.errors import SimulationError
 from repro.common.stats import StatGroup
 from repro.dram.bank import OUTCOME_CONFLICT, OUTCOME_HIT, OUTCOME_MISS
 
@@ -39,7 +40,10 @@ class EnergyModel:
         elif outcome == OUTCOME_CONFLICT:
             energy = config.array_read_energy + 2 * config.act_pre_energy
         else:
-            raise ValueError("unknown DRAM outcome %r" % (outcome,))
+            raise SimulationError(
+                "unknown DRAM outcome %r" % (outcome,),
+                context={"outcome": outcome, "is_prefetch": is_prefetch},
+            )
         self._dynamic += energy
         self.stats.counter("dram_accesses").add()
         if is_prefetch:

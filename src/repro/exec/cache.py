@@ -17,12 +17,28 @@ sharing a cache directory -- safe: last rename wins and every version is
 identical by construction.
 """
 
+import enum
 import json
 import os
 import tempfile
 
 from repro.exec.cells import trace_key
 from repro.sim.traceio import load_trace, save_trace
+
+
+class QuarantineReason(str, enum.Enum):
+    """Why an entry was moved aside.  A ``str`` subclass so existing
+    callers (and quarantine filenames) keep working with plain strings;
+    the closed set lets ``repro stats`` report quarantine causes instead
+    of parsing free-form text.
+    """
+
+    #: The entry was torn, unreadable, or not a JSON object.
+    CORRUPT = "corrupt"
+    #: The entry predates the current payload schema.
+    STALE_SCHEMA = "stale-schema"
+    #: The cell's simulation failed an online invariant audit.
+    INVARIANT_VIOLATION = "invariant-violation"
 
 
 def default_cache_dir():
@@ -94,22 +110,42 @@ class ResultCache:
     def quarantine(self, key, reason):
         """Move *key*'s result entry aside -- never delete evidence.
 
-        The entry lands in ``quarantine/<aa>/`` with *reason* (e.g.
-        ``corrupt``, ``stale``) embedded in the filename, so a bad batch
-        of entries can be inspected after the fact.  Returns the new
-        path, or ``None`` when there was nothing to move.
+        The entry lands in ``quarantine/<aa>/`` with *reason* (a
+        :class:`QuarantineReason` or plain string) embedded in the
+        filename, so a bad batch of entries can be inspected after the
+        fact.  Returns the new path, or ``None`` when there was nothing
+        to move.
         """
+        # Normalized explicitly: 3.9's %-format renders a str-enum as
+        # "QuarantineReason.CORRUPT" rather than its value.
+        label = getattr(reason, "value", reason)
         path = self._result_path(key)
         if not os.path.exists(path):
             return None
         dest_dir = os.path.join(self.root, "quarantine", key[:2])
         os.makedirs(dest_dir, exist_ok=True)
-        dest = os.path.join(dest_dir, "%s.%s.json" % (key, reason))
+        dest = os.path.join(dest_dir, "%s.%s.json" % (key, label))
         serial = 0
         while os.path.exists(dest):
             serial += 1
-            dest = os.path.join(dest_dir, "%s.%s.%d.json" % (key, reason, serial))
+            dest = os.path.join(dest_dir, "%s.%s.%d.json" % (key, label, serial))
         os.replace(path, dest)
+        return dest
+
+    def quarantine_record(self, key, reason, evidence):
+        """Write a quarantine *evidence* record for a cell that has no
+        cache entry to move -- e.g. an invariant violation caught before
+        the result was ever cached.  Returns the evidence path.
+        """
+        label = getattr(reason, "value", reason)
+        dest_dir = os.path.join(self.root, "quarantine", key[:2])
+        dest = os.path.join(dest_dir, "%s.%s.evidence.json" % (key, label))
+
+        def write(temp_path):
+            with open(temp_path, "w") as stream:
+                json.dump(evidence, stream, sort_keys=True, default=repr)
+
+        _atomic_write(dest, write)
         return dest
 
     def put(self, key, payload):

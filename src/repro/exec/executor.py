@@ -34,7 +34,7 @@ resumed, parallel run is bit-identical to a serial uncached one.
 
 import os
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import QuarantineReason, ResultCache
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
 from repro.exec.faults import FaultPlan, FaultSpec
 from repro.exec.resilience import (
@@ -47,12 +47,14 @@ from repro.exec.resilience import (
 from repro.exec.serialize import payload_to_result, result_to_payload
 
 
-def simulate_cell(cell, cache=None, trace_memo=None):
+def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None):
     """Run one cell to completion and return its payload dict.
 
     *cache* (a :class:`~repro.exec.cache.ResultCache`) supplies and
     receives persisted traces; *trace_memo* is an optional in-process
-    ``(name, length, seed) -> Trace`` memo for serial execution.
+    ``(name, length, seed) -> Trace`` memo for serial execution;
+    *check_invariants* (``off``/``sample``/``full``) arms the online
+    audit suite for the run.
     """
     # Imported here so pool workers pay the import once per process and
     # the module stays importable without the full sim stack.
@@ -72,11 +74,13 @@ def simulate_cell(cell, cache=None, trace_memo=None):
         if trace_memo is not None:
             trace_memo[memo_key] = trace
         traces.append(trace)
-    result = SystemSimulator(cell.config, traces, seed=cell.seed).run()
+    result = SystemSimulator(
+        cell.config, traces, seed=cell.seed, check_invariants=check_invariants
+    ).run()
     return result_to_payload(result)
 
 
-def _resilience_worker(cell, cache_root, attempt, plan, channel):
+def _resilience_worker(cell, cache_root, attempt, plan, channel, check_invariants=None):
     """Top-level worker entry point: one cell, one process.
 
     Injects any scheduled faults first (a ``kill`` fault ``os._exit``s
@@ -88,7 +92,13 @@ def _resilience_worker(cell, cache_root, attempt, plan, channel):
         if plan is not None:
             plan.inject(cell.key(), attempt)
         cache = ResultCache(cache_root) if cache_root is not None else None
-        channel.put((cell.key(), "ok", simulate_cell(cell, cache)))
+        channel.put(
+            (
+                cell.key(),
+                "ok",
+                simulate_cell(cell, cache, check_invariants=check_invariants),
+            )
+        )
     except BaseException as exc:
         try:
             channel.put(
@@ -101,10 +111,21 @@ def _resilience_worker(cell, cache_root, attempt, plan, channel):
 class ExperimentExecutor:
     """Schedules cells across workers, through the cache, in order."""
 
-    def __init__(self, jobs=1, cache=None, resilience=None, faults=None, resume=False):
+    def __init__(
+        self,
+        jobs=1,
+        cache=None,
+        resilience=None,
+        faults=None,
+        resume=False,
+        check_invariants=None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        #: ``off``/``sample``/``full``: forwarded to every simulation
+        #: this executor runs (inline and worker-process alike).
+        self.check_invariants = check_invariants
         #: Optional :class:`~repro.exec.cache.ResultCache`; ``None``
         #: keeps everything in-process (the memo still deduplicates).
         self.cache = cache
@@ -141,6 +162,10 @@ class ExperimentExecutor:
             "quarantined": 0,
             "failed": 0,
         }
+        #: Per-cause quarantine tally (``corrupt`` / ``stale-schema`` /
+        #: ``invariant-violation``), surfaced by :meth:`summary` and the
+        #: report's provenance section.
+        self.quarantine_reasons = {}
 
     # ------------------------------------------------------------------
 
@@ -201,14 +226,12 @@ class ExperimentExecutor:
             return None
         payload, status = self.cache.get_entry(key)
         if status == "corrupt":
-            self.cache.quarantine(key, "corrupt")
-            self.counters["quarantined"] += 1
+            self._quarantine(key, QuarantineReason.CORRUPT)
             return None
         if payload is None:
             return None
         if payload.get("schema") != PAYLOAD_SCHEMA:
-            self.cache.quarantine(key, "stale")
-            self.counters["quarantined"] += 1
+            self._quarantine(key, QuarantineReason.STALE_SCHEMA)
             return None
         self.counters["cache_hits"] += 1
         if key in prior_done:
@@ -217,6 +240,16 @@ class ExperimentExecutor:
         if checkpoint is not None:
             checkpoint.record(key, "done", info="cache")
         return payload
+
+    def _quarantine(self, key, reason, evidence=None):
+        """Move the entry aside (or write an evidence record when there
+        is nothing to move) and tally the cause."""
+        moved = self.cache.quarantine(key, reason)
+        if moved is None and evidence is not None:
+            self.cache.quarantine_record(key, reason, evidence)
+        self.counters["quarantined"] += 1
+        label = getattr(reason, "value", reason)
+        self.quarantine_reasons[label] = self.quarantine_reasons.get(label, 0) + 1
 
     def _execute(self, pending, resolved, plan, checkpoint):
         """Drive the missing cells through the resilient scheduler.
@@ -242,18 +275,37 @@ class ExperimentExecutor:
 
         def on_failed(failure):
             failures.append(failure)
+            if self.cache is not None and failure.error.startswith(
+                "InvariantViolation"
+            ):
+                # The violating run's result must never be trusted: move
+                # any cached entry aside and leave an evidence record.
+                self._quarantine(
+                    failure.key,
+                    QuarantineReason.INVARIANT_VIOLATION,
+                    evidence={
+                        "key": failure.key,
+                        "error": failure.error,
+                        "attempts": failure.attempts,
+                    },
+                )
             if checkpoint is not None:
                 checkpoint.record(
                     failure.key, "failed", failure.attempts, failure.error
                 )
 
         def run_inline(cell):
-            return simulate_cell(cell, self.cache, self._trace_memo)
+            return simulate_cell(
+                cell,
+                self.cache,
+                self._trace_memo,
+                check_invariants=self.check_invariants,
+            )
 
         cache_root = self.cache.root if self.cache is not None else None
 
         def worker_args(cell, attempt, channel):
-            return (cell, cache_root, attempt, plan, channel)
+            return (cell, cache_root, attempt, plan, channel, self.check_invariants)
 
         stats = execute_resilient(
             pending,
@@ -325,6 +377,11 @@ class ExperimentExecutor:
         ]
         if extras:
             line += "; resilience: " + ", ".join(extras)
+        if self.quarantine_reasons:
+            line += "; quarantine: " + ", ".join(
+                "%d %s" % (count, reason)
+                for reason, count in sorted(self.quarantine_reasons.items())
+            )
         return line
 
     def __repr__(self):

@@ -54,11 +54,24 @@ from typing import (
     Tuple,
 )
 
-from repro.common.errors import ReproError
+from repro.common.errors import InvariantViolation, ReproError
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
 from repro.exec.faults import FaultPlan
 
 Payload = Dict[str, Any]
+
+
+def _is_terminal(error: str) -> bool:
+    """Whether a cell failure must not be retried.
+
+    An invariant violation is deterministic -- the cell is a pure
+    function of its identity, so re-running it reproduces the same
+    violation.  Retrying would only burn attempts and, worse, could
+    mask the violation behind a fault-injection pass on a later
+    attempt.  Worker errors cross the process boundary as
+    ``"TypeName: message"`` strings, hence the prefix check.
+    """
+    return error.startswith(InvariantViolation.__name__)
 
 #: Seconds a zero-exit worker gets to flush its result channel before it
 #: is reclassified as crashed (covers the exit-before-drain race).
@@ -372,7 +385,7 @@ def _execute_inline(
             except Exception as exc:
                 error = "%s: %s" % (type(exc).__name__, exc)
                 attempt += 1
-                if attempt > policy.max_retries:
+                if attempt > policy.max_retries or _is_terminal(error):
                     on_failed(
                         CellFailure(key, "+".join(cell.workloads), attempt, error)
                     )
@@ -453,7 +466,7 @@ def _execute_isolated(
 
     def retry_or_fail(key: str, error: str) -> None:
         attempts[key] += 1
-        if attempts[key] > policy.max_retries:
+        if attempts[key] > policy.max_retries or _is_terminal(error):
             on_failed(
                 CellFailure(
                     key, "+".join(pending[key].workloads), attempts[key], error

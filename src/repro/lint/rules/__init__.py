@@ -11,6 +11,7 @@ from typing import Dict, List
 from repro.lint.base import Rule
 from repro.lint.rules.cache_key import CacheKeyCompletenessRule
 from repro.lint.rules.determinism import TIMING_CRITICAL_PACKAGES, NoNondeterminismRule
+from repro.lint.rules.errors import NoBareExceptionsRule
 from repro.lint.rules.hygiene import (
     NoConfigMutationRule,
     NoFloatCyclesRule,
@@ -30,6 +31,7 @@ ALL_RULES: List[Rule] = [
     NoFloatCyclesRule(),
     NoPrintRule(),
     NoMutableDefaultsRule(),
+    NoBareExceptionsRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

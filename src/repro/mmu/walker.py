@@ -18,6 +18,7 @@ MMU caches and TLB.
 
 from repro.common.addressing import line_index_in_page
 from repro.common.constants import SIZE_FOR_LEAF_LEVEL
+from repro.common.errors import SimulationError
 from repro.common.stats import StatGroup
 
 
@@ -126,7 +127,22 @@ class PageTableWalker:
 
     def complete(self, plan):
         """Record walk completion: fill MMU caches with the non-leaf
-        entries that were fetched from memory."""
+        entries that were fetched from memory.
+
+        Completing a faulted plan would desynchronise the walker's
+        completion accounting (the ``walks == completed + faulting``
+        invariant the audit suite checks), so it is rejected here with
+        the machine state attached.
+        """
+        if plan.faulted:
+            raise SimulationError(
+                "cannot complete a faulted walk",
+                context={
+                    "vaddr": plan.vaddr,
+                    "leaf_level": plan.leaf_level,
+                    "steps": len(plan.steps),
+                },
+            )
         for step in plan.steps:
             if not step.from_mmu_cache and not step.is_leaf:
                 self.mmu_caches.insert(step.level, step.entry_paddr, step.is_leaf)

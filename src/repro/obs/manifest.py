@@ -63,6 +63,17 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
     ]
     if resilience:
         rows.append(("resilience", ", ".join(resilience)))
+    reasons: Mapping[str, int] = getattr(executor, "quarantine_reasons", None) or {}
+    if reasons:
+        rows.append(
+            (
+                "quarantine",
+                ", ".join(
+                    "%d %s" % (count, reason)
+                    for reason, count in sorted(reasons.items())
+                ),
+            )
+        )
     failed = list(getattr(executor, "failed_cells", ()))
     if failed:
         rows.append(
@@ -91,6 +102,7 @@ class RunManifest:
         "package_version",
         "python_version",
         "timings",
+        "audit",
     )
 
     def __init__(self, config: Any, seed: int, traces: Sequence[Any], warmup_records: Optional[int] = None, timings: Optional[Mapping[str, float]] = None) -> None:
@@ -116,10 +128,17 @@ class RunManifest:
         #: Wall-clock phase timings + throughput, filled in by the
         #: simulator's profiler after the run.
         self.timings: Dict[str, float] = dict(timings) if timings else {}
+        #: Invariant-audit summary (mode, checkpoints, violations,
+        #: flight-recorder stats), filled in when ``--check-invariants``
+        #: is on.  Exported by :meth:`as_dict` but deliberately *not* by
+        #: :meth:`flat`: the flat projection merges into the stats
+        #: namespace, which must stay bit-identical between audited and
+        #: unaudited runs.
+        self.audit: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Full nested manifest (JSON-serialisable)."""
-        return {
+        info = {
             "config": self.config,
             "config_sha256": self.config_sha256,
             "seed": self.seed,
@@ -130,6 +149,9 @@ class RunManifest:
             "python_version": self.python_version,
             "timings": self.timings,
         }
+        if self.audit is not None:
+            info["audit"] = self.audit
+        return info
 
     def flat(self, prefix: str = "manifest") -> Dict[str, Any]:
         """Scalar projection for the unified metrics namespace."""

@@ -9,6 +9,8 @@ transactions -- hence ``slots() == 2`` for tagged PT requests.
 
 import itertools
 
+from repro.common.errors import ConfigError
+
 KIND_DEMAND = "demand"
 KIND_PT = "pt"
 KIND_TEMPO_PREFETCH = "tempo_prefetch"
@@ -66,7 +68,10 @@ class MemoryRequest:
         origin_pt_id=None,
     ):
         if kind not in _ALL_KINDS:
-            raise ValueError("unknown request kind %r" % (kind,))
+            raise ConfigError(
+                "unknown request kind %r" % (kind,),
+                context={"kind": kind, "paddr": paddr},
+            )
         self.req_id = next(_request_ids)
         self.paddr = paddr
         self.is_write = is_write

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
+from repro.common.errors import SimulationError
+
 if TYPE_CHECKING:
     from repro.obs.manifest import RunManifest
 
@@ -218,7 +220,10 @@ class SimulationResult:
     def core(self) -> CoreResult:
         """Convenience accessor for single-core runs."""
         if len(self.cores) != 1:
-            raise ValueError("result has %d cores; use .cores" % len(self.cores))
+            raise SimulationError(
+                "result has %d cores; use .cores" % len(self.cores),
+                context={"num_cores": len(self.cores)},
+            )
         return self.cores[0]
 
     def __repr__(self) -> str:
@@ -246,7 +251,10 @@ def energy_improvement(baseline_energy: float, improved_energy: float) -> float:
 def weighted_speedup(shared_results: Sequence[CoreResult], alone_results: Sequence[CoreResult]) -> float:
     """Sum over applications of IPC_shared / IPC_alone."""
     if len(shared_results) != len(alone_results):
-        raise ValueError("shared/alone core counts differ")
+        raise SimulationError(
+            "shared/alone core counts differ",
+            context={"shared": len(shared_results), "alone": len(alone_results)},
+        )
     total = 0.0
     for shared, alone in zip(shared_results, alone_results):
         if alone.ipc_proxy > 0:
@@ -257,7 +265,10 @@ def weighted_speedup(shared_results: Sequence[CoreResult], alone_results: Sequen
 def max_slowdown(shared_results: Sequence[CoreResult], alone_results: Sequence[CoreResult]) -> float:
     """Max over applications of T_shared / T_alone (lower is fairer)."""
     if len(shared_results) != len(alone_results):
-        raise ValueError("shared/alone core counts differ")
+        raise SimulationError(
+            "shared/alone core counts differ",
+            context={"shared": len(shared_results), "alone": len(alone_results)},
+        )
     worst = 0.0
     for shared, alone in zip(shared_results, alone_results):
         if alone.cycles > 0:

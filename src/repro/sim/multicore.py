@@ -40,12 +40,15 @@ class MultiprogramResult:
 class MulticoreSimulator:
     """Runs a mix shared, then each application alone."""
 
-    def __init__(self, config, traces, seed=None, progress=None):
+    def __init__(self, config, traces, seed=None, progress=None, check_invariants=None):
         self.config = config
         self.traces = list(traces)
         self.seed = seed if seed is not None else config.seed
         #: Optional callback receiving one status string per phase.
         self.progress = progress
+        #: ``off``/``sample``/``full`` -- forwarded to every underlying
+        #: :class:`SystemSimulator` (shared and alone runs alike).
+        self.check_invariants = check_invariants
         self.profiler = PhaseProfiler()
 
     def _announce(self, message):
@@ -62,9 +65,12 @@ class MulticoreSimulator:
         names = "+".join(trace.name for trace in self.traces)
         self._announce("running shared mix %s ..." % names)
         with self.profiler.phase("shared"):
-            shared = SystemSimulator(self.config, self.traces, self.seed).run(
-                max_records
-            )
+            shared = SystemSimulator(
+                self.config,
+                self.traces,
+                self.seed,
+                check_invariants=self.check_invariants,
+            ).run(max_records)
         if alone_results is None:
             alone_results = self.run_alone(max_records)
         records = sum(len(trace.records) for trace in self.traces)
@@ -78,6 +84,11 @@ class MulticoreSimulator:
         for trace in self.traces:
             self._announce("running %s alone ..." % trace.name)
             with self.profiler.phase("alone.%s" % trace.name):
-                simulator = SystemSimulator(self.config, [trace], self.seed)
+                simulator = SystemSimulator(
+                    self.config,
+                    [trace],
+                    self.seed,
+                    check_invariants=self.check_invariants,
+                )
                 results.append(simulator.run(max_records))
         return results

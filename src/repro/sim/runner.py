@@ -38,6 +38,7 @@ def run_workload(
     tracer=None,
     progress=None,
     executor=None,
+    check_invariants=None,
 ):
     """Simulate one workload (a name or a prebuilt Trace) on *config*.
 
@@ -59,14 +60,19 @@ def run_workload(
         return executor.run_cell(SimCell(workload, config, length, seed))
     trace = _resolve_trace(workload, length, seed)
     simulator = SystemSimulator(
-        config, [trace], seed=seed, tracer=tracer, progress=progress
+        config,
+        [trace],
+        seed=seed,
+        tracer=tracer,
+        progress=progress,
+        check_invariants=check_invariants,
     )
     return simulator.run(max_records)
 
 
 def run_baseline_and_tempo(
     workload, config=None, length=20000, seed=0, max_records=None, progress=None,
-    executor=None,
+    executor=None, check_invariants=None,
 ):
     """Run the same trace with TEMPO off and on.
 
@@ -88,10 +94,12 @@ def run_baseline_and_tempo(
         return baseline, tempo
     trace = _resolve_trace(workload, length, seed)
     baseline = SystemSimulator(
-        config.with_tempo(False), [trace], seed=seed, progress=progress
+        config.with_tempo(False), [trace], seed=seed, progress=progress,
+        check_invariants=check_invariants,
     ).run(max_records)
     tempo = SystemSimulator(
-        config.with_tempo(True), [trace], seed=seed, progress=progress
+        config.with_tempo(True), [trace], seed=seed, progress=progress,
+        check_invariants=check_invariants,
     ).run(max_records)
     return baseline, tempo
 

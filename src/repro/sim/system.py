@@ -31,7 +31,7 @@ private L1/L2, TLBs, MMU caches, page tables, and address spaces
 
 from repro.common.addressing import LINE_MASK, PAGE_OFFSET_MASKS, cache_line_base, translate
 from repro.common.config import SystemConfig
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, ReproError, SimulationError
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatGroup
 from repro.cache.hierarchy import CacheHierarchy
@@ -120,6 +120,8 @@ class SystemSimulator:
         tracer=None,
         progress=None,
         progress_interval=5000,
+        check_invariants=None,
+        force_engine=False,
     ):
         if isinstance(traces, (list, tuple)):
             trace_list = list(traces)
@@ -128,7 +130,7 @@ class SystemSimulator:
         if not trace_list:
             raise SimulationError("need at least one trace")
         if not isinstance(config, SystemConfig):
-            raise TypeError("config must be a SystemConfig")
+            raise ConfigError("config must be a SystemConfig, got %s" % type(config).__name__)
         config.validate()
         if config.num_cores != len(trace_list):
             config = config.copy_with(num_cores=len(trace_list))
@@ -139,6 +141,26 @@ class SystemSimulator:
         self.tracer = tracer
         self._progress = progress
         self._progress_interval = progress_interval
+        #: When True, every record goes through the event engine even
+        #: when the TLB-hit fast path would apply (the fast-vs-engine
+        #: differential oracle forces both paths on the same input).
+        self._force_engine = bool(force_engine)
+        #: Nullable invariant-audit suite + flight recorder
+        #: (:mod:`repro.verify`); like the tracer, hot paths pay one
+        #: ``is None`` test when ``check_invariants`` is off.
+        self.audit = None
+        self.recorder = None
+        if check_invariants is not None and check_invariants != "off":
+            # Imported lazily: repro.verify builds on this module.
+            from repro.verify.auditor import AuditorSuite
+            from repro.verify.recorder import FlightRecorder
+
+            self.recorder = FlightRecorder()
+            self.audit = AuditorSuite(
+                check_invariants,
+                recorder=self.recorder,
+                quiescent_ticks=len(trace_list) == 1,
+            )
         self.profiler = PhaseProfiler()
         self.manifest = None
         rng = DeterministicRng(self.seed, "system")
@@ -229,22 +251,59 @@ class SystemSimulator:
             warmup_records=warmup,
         )
         profiler = self.profiler
-        if len(self.cores) == 1:
-            profiler.begin("warmup" if warmup > 0 else "measure")
-            self._run_single(self.cores[0], limits[0], warmup, meter)
-        else:
-            profiler.begin("simulate")
-            self._run_interleaved(limits, warmup, meter)
-        profiler.begin("drain")
-        final_time = self.controller.drain_all()
+        try:
+            if len(self.cores) == 1:
+                profiler.begin("warmup" if warmup > 0 else "measure")
+                self._run_single(self.cores[0], limits[0], warmup, meter)
+            else:
+                profiler.begin("simulate")
+                self._run_interleaved(limits, warmup, meter)
+            profiler.begin("drain")
+            final_time = self.controller.drain_all()
+            if self.audit is not None:
+                self.audit.checkpoint(self, quiescent=True)
+        except ReproError as exc:
+            self._report_crash(exc)
+            raise
         profiler.end()
         if meter is not None:
             meter.finish()
         self.manifest.timings = profiler.summary(
             records=sum(core.position for core in self.cores)
         )
+        if self.audit is not None:
+            self.manifest.audit = self.audit.summary()
         total_cycles = max(max(core.time for core in self.cores), final_time)
         return self._build_result(total_cycles)
+
+    def _report_crash(self, exc):
+        """Flesh out an escaping error with machine state and emit the
+        structured crash report (JSON on stderr)."""
+        context = getattr(exc, "context", None)
+        if context is None:
+            return
+        context.setdefault("cycle", max(core.time for core in self.cores))
+        context.setdefault(
+            "positions", {core.cpu: core.position for core in self.cores}
+        )
+        context.setdefault("pending_requests", self.controller.pending_requests())
+        if self.recorder is not None and "flight_recorder" not in context:
+            context["flight_recorder"] = self.recorder.dump()
+        import json
+        import sys
+
+        report = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "context": context,
+        }
+        try:
+            serialised = json.dumps(report, default=repr, indent=2)
+        except (TypeError, ValueError):
+            serialised = json.dumps(
+                {"error": type(exc).__name__, "message": str(exc)}
+            )
+        sys.stderr.write(serialised + "\n")
 
     def _reset_measurement(self, core):
         """End of this core's warmup: zero its metric accumulators."""
@@ -270,8 +329,10 @@ class SystemSimulator:
         counters); tracing or IMP disable the fast path entirely.
         """
         records = core.trace.records
-        fast = self.tracer is None and core.imp is None
+        fast = self.tracer is None and core.imp is None and not self._force_engine
 
+        audit = self.audit
+        recorder = self.recorder
         controller = self.controller
         hierarchy = self.hierarchy
         nonmem_per_gap = self._nonmem_per_gap
@@ -323,6 +384,15 @@ class SystemSimulator:
                         submit_writeback(victim.paddr, cpu, time)
                         dram_refs.writeback += 1
                     core.time = time
+                    if recorder is not None:
+                        recorder.record(
+                            "ref",
+                            cpu=cpu,
+                            vaddr=vaddr,
+                            time=time,
+                            walked=False,
+                            write=record.is_write,
+                        )
                 else:
                     self._drive_events(self._record_events(core, record, hit=None))
             else:
@@ -330,6 +400,8 @@ class SystemSimulator:
             core.position += 1
             if meter is not None:
                 meter.tick()
+            if audit is not None:
+                audit.tick(self)
 
     def _run_interleaved(self, limits, warmup, meter=None):
         """Event-driven interleave of per-core streams.
@@ -380,6 +452,8 @@ class SystemSimulator:
                         core.position += 1
                         if meter is not None:
                             meter.tick()
+                        if self.audit is not None:
+                            self.audit.tick(self)
                         events = start_next(core)
                         if events is None:
                             state[cpu] = None
@@ -585,6 +659,15 @@ class SystemSimulator:
                     "write": record.is_write,
                 },
             )
+        if self.recorder is not None:
+            self.recorder.record(
+                "ref",
+                cpu=core.cpu,
+                vaddr=vaddr,
+                time=time,
+                walked=walked,
+                write=record.is_write,
+            )
         core.time = time
 
     # -- translation ----------------------------------------------------
@@ -603,7 +686,15 @@ class SystemSimulator:
             core.address_space.handle_fault(vaddr)
             plan = core.walker.plan(vaddr)
             if plan.faulted:
-                raise SimulationError("walk still faults after demand mapping")
+                raise SimulationError(
+                    "walk still faults after demand mapping",
+                    context={
+                        "core": core.cpu,
+                        "vaddr": vaddr,
+                        "cycle": time,
+                        "leaf_level": plan.leaf_level,
+                    },
+                )
         leaf_pt_request = None
         for step in plan.steps:
             if step.from_mmu_cache:
@@ -627,6 +718,17 @@ class SystemSimulator:
         core.tlb.fill(vaddr, frame, page_size)
         time += self._tlb_fill_latency
         self._walk_hist.record(time - begin)
+        if self.recorder is not None:
+            self.recorder.record(
+                "walk",
+                cpu=core.cpu,
+                vaddr=vaddr,
+                begin=begin,
+                end=time,
+                levels=len(plan.steps),
+                leaf_dram=leaf_pt_request is not None,
+                page_size=page_size,
+            )
         if tracer is not None:
             tracer.span(
                 "walk",
@@ -677,6 +779,17 @@ class SystemSimulator:
             self.stats.histogram("ptw_dram_upper_level").record(step.level)
         self.hierarchy.fill_from_memory(core.cpu, step.entry_paddr)
         self.energy.record_llc_fill()
+        if self.recorder is not None:
+            self.recorder.record(
+                "dram",
+                cpu=core.cpu,
+                kind="pt",
+                paddr=request.paddr,
+                leaf=step.is_leaf,
+                level=step.level,
+                outcome=request.outcome,
+                finish=finish,
+            )
         if tracer is not None:
             tracer.span(
                 "pt_access",
@@ -781,6 +894,16 @@ class SystemSimulator:
         else:
             core.runtime.dram_other_cycles += dram_cycles
             core.dram_refs.other += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                "dram",
+                cpu=core.cpu,
+                kind="demand",
+                paddr=request.paddr,
+                outcome=request.outcome,
+                service=service,
+                finish=finish,
+            )
         if tracer is not None:
             tracer.span(
                 "dram",

@@ -1,0 +1,45 @@
+"""Runtime verification: online invariant audits, the flight recorder,
+and differential oracles (``repro verify``).
+
+Three layers defend the simulation itself (docs/verification.md):
+
+* :class:`~repro.verify.auditor.AuditorSuite` -- online invariant
+  checkpoints over the live machine (stat conservation, TLB/page-table
+  coherence, cache sanity, DRAM legality, TEMPO causality), enabled by
+  ``SystemSimulator(check_invariants="sample"|"full")``;
+* :class:`~repro.verify.recorder.FlightRecorder` -- a bounded ring
+  buffer of the last N reference/walk/DRAM events, dumped as structured
+  context when any :class:`~repro.common.errors.ReproError` escapes a
+  run;
+* :func:`~repro.verify.oracles.run_verification` -- whole-run
+  differential and metamorphic oracles behind ``repro verify``.
+"""
+
+from repro.common.errors import InvariantViolation
+from repro.verify.auditor import (
+    AuditorSuite,
+    CacheSanityAuditor,
+    DramLegalityAuditor,
+    InvariantAuditor,
+    StatConservationAuditor,
+    TempoCausalityAuditor,
+    TlbCoherenceAuditor,
+    Violation,
+)
+from repro.verify.oracles import OracleResult, run_verification
+from repro.verify.recorder import FlightRecorder
+
+__all__ = [
+    "AuditorSuite",
+    "CacheSanityAuditor",
+    "DramLegalityAuditor",
+    "FlightRecorder",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "OracleResult",
+    "StatConservationAuditor",
+    "TempoCausalityAuditor",
+    "TlbCoherenceAuditor",
+    "Violation",
+    "run_verification",
+]

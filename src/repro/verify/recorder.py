@@ -1,0 +1,79 @@
+"""The flight recorder: a bounded ring buffer of recent machine events.
+
+When an invariant audit fails (or any :class:`~repro.common.errors.
+ReproError` escapes ``SystemSimulator.run``), the question is never just
+"what broke" but "what was the simulator doing".  The recorder keeps the
+last N reference/walk/DRAM events -- cheap dicts in a ``deque`` -- and
+:meth:`FlightRecorder.dump` turns them into the structured context that
+lands in the crash report (JSON on stderr) and the run manifest.
+
+The recorder only exists when ``--check-invariants`` is on; with it off
+the hot loops pay the same single ``is None`` test the tracer does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+from repro.common.errors import ConfigError
+
+#: Default ring capacity: enough to cover several walks' worth of
+#: events either side of a violation without bloating crash reports.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent simulation events."""
+
+    __slots__ = ("capacity", "recorded", "_events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: Total events ever recorded (the ring keeps only the tail).
+        self.recorded = 0
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event; the oldest event falls off when full.
+
+        *event* names the event type (``ref``/``walk``/``dram``); the
+        keyword fields are free-form and land in the dump verbatim.
+        """
+        entry: Dict[str, Any] = {"event": event}
+        entry.update(fields)
+        self._events.append(entry)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events that have already fallen off the ring."""
+        return self.recorded - len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot: ring stats + retained events."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": self.events(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return "FlightRecorder(%d/%d events, %d total)" % (
+            len(self._events),
+            self.capacity,
+            self.recorded,
+        )

@@ -83,7 +83,10 @@ class AddressSpace:
         Nothing is mapped until touched (demand paging).
         """
         if size <= 0:
-            raise MappingError("region %r must have positive size" % name)
+            raise MappingError(
+                "region %r must have positive size" % name,
+                context={"region": name, "size": size},
+            )
         base = self._next_base
         region = Region(base, size, name, allow_superpages, thp_eligibility)
         self._regions.append(region)
@@ -120,7 +123,14 @@ class AddressSpace:
         """
         region = self.region_of(vaddr)
         if region is None:
-            raise TranslationFault(vaddr, "0x%x is outside every region" % vaddr)
+            raise TranslationFault(
+                vaddr,
+                "0x%x is outside every region" % vaddr,
+                context={
+                    "num_regions": len(self._regions),
+                    "regions": [r.name for r in self._regions[:8]],
+                },
+            )
         page_vbase, frame_paddr, page_size = self.policy.choose_mapping(region, vaddr)
         self.page_table.map(page_vbase, frame_paddr, page_size)
         self.stats.counter("minor_faults").add()

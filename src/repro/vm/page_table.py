@@ -117,11 +117,20 @@ class PageTable:
         *vaddr* and *frame_paddr* must be aligned to *page_size*.
         """
         if page_size not in LEAF_LEVEL_FOR_SIZE:
-            raise MappingError("unsupported page size %r" % (page_size,))
+            raise MappingError(
+                "unsupported page size %r" % (page_size,),
+                context={"vaddr": vaddr, "page_size": page_size},
+            )
         if vaddr & (page_size - 1):
-            raise MappingError("virtual address 0x%x not %d-aligned" % (vaddr, page_size))
+            raise MappingError(
+                "virtual address 0x%x not %d-aligned" % (vaddr, page_size),
+                context={"vaddr": vaddr, "page_size": page_size},
+            )
         if frame_paddr & (page_size - 1):
-            raise MappingError("frame 0x%x not %d-aligned" % (frame_paddr, page_size))
+            raise MappingError(
+                "frame 0x%x not %d-aligned" % (frame_paddr, page_size),
+                context={"vaddr": vaddr, "frame_paddr": frame_paddr, "page_size": page_size},
+            )
         leaf_level = LEAF_LEVEL_FOR_SIZE[page_size]
         node = self.root
         for level in range(PT_LEVELS, leaf_level, -1):
@@ -130,7 +139,14 @@ class PageTable:
         existing = node.entries.get(index)
         if existing is not None and existing.present:
             raise MappingError(
-                "0x%x already mapped (level %d index %d)" % (vaddr, leaf_level, index)
+                "0x%x already mapped (level %d index %d)" % (vaddr, leaf_level, index),
+                context={
+                    "vaddr": vaddr,
+                    "level": leaf_level,
+                    "index": index,
+                    "existing_frame_paddr": existing.frame_paddr,
+                    "existing_page_size": existing.page_size,
+                },
             )
         node.entries[index] = PageTableEntry(
             present=True, is_leaf=True, frame_paddr=frame_paddr, page_size=page_size
@@ -154,7 +170,13 @@ class PageTable:
             return child
         if entry.is_leaf:
             raise MappingError(
-                "0x%x covered by an existing %d-byte superpage" % (vaddr, entry.page_size)
+                "0x%x covered by an existing %d-byte superpage" % (vaddr, entry.page_size),
+                context={
+                    "vaddr": vaddr,
+                    "level": level,
+                    "superpage_size": entry.page_size,
+                    "superpage_frame_paddr": entry.frame_paddr,
+                },
             )
         return entry.child
 
@@ -169,12 +191,18 @@ class PageTable:
         for level in range(PT_LEVELS, leaf_level, -1):
             entry = node.entries.get(radix_index(vaddr, level))
             if entry is None or not entry.present or entry.is_leaf:
-                raise MappingError("0x%x is not mapped at %d bytes" % (vaddr, page_size))
+                raise MappingError(
+                    "0x%x is not mapped at %d bytes" % (vaddr, page_size),
+                    context={"vaddr": vaddr, "page_size": page_size, "level": level},
+                )
             node = entry.child
         index = radix_index(vaddr, leaf_level)
         entry = node.entries.get(index)
         if entry is None or not entry.present or not entry.is_leaf:
-            raise MappingError("0x%x is not mapped at %d bytes" % (vaddr, page_size))
+            raise MappingError(
+                "0x%x is not mapped at %d bytes" % (vaddr, page_size),
+                context={"vaddr": vaddr, "page_size": page_size, "level": leaf_level},
+            )
         del node.entries[index]
         self._mapped_bytes[page_size] -= page_size
         self.stats.counter("unmappings").add()
@@ -203,14 +231,23 @@ class PageTable:
             node = entry.child
         # The L1 loop iteration either returned a leaf or a fault; a
         # present non-leaf L1 entry is structurally impossible.
-        raise MappingError("corrupt page table: non-leaf entry at L1 for 0x%x" % vaddr)
+        raise MappingError(
+            "corrupt page table: non-leaf entry at L1 for 0x%x" % vaddr,
+            context={"vaddr": vaddr, "accesses": list(accesses)},
+        )
 
     def translate(self, vaddr):
         """Return ``(frame_base, page_size)`` or raise
         :class:`TranslationFault` -- the OS-level view, with no timing."""
         result = self.walk(vaddr)
         if result.faulted:
-            raise TranslationFault(vaddr)
+            raise TranslationFault(
+                vaddr,
+                context={
+                    "fault_level": result.leaf_level,
+                    "levels_read": len(result.accesses),
+                },
+            )
         return result.entry.frame_paddr, result.entry.page_size
 
     def is_mapped(self, vaddr):

@@ -8,6 +8,7 @@ through region handles.
 """
 
 from repro.common.constants import CACHE_LINE_BYTES, PAGE_SIZE_1G
+from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRng
 from repro.sim.trace import RegionSpec, Trace, TraceRecord
 from repro.vm.address_space import REGION_SPACE_BASE
@@ -98,7 +99,10 @@ class TraceBuilder:
         simulator reproduces the same bases.
         """
         if size <= 0:
-            raise ValueError("region %r must have positive size" % name)
+            raise ConfigError(
+                "region %r must have positive size" % name,
+                context={"region": name, "size": size},
+            )
         base = self._next_base
         end = base + size
         # Next 1 GB boundary at/after the end, plus a 1 GB guard gap.

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError
 from repro.cache.cache import Cache
 
 
@@ -135,5 +136,5 @@ def test_hit_rate():
 
 
 def test_rejects_non_cacheconfig():
-    with pytest.raises(TypeError):
+    with pytest.raises(ConfigError):
         Cache({"size": 1024})

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.config import EnergyConfig
+from repro.common.errors import SimulationError
 from repro.dram.bank import OUTCOME_CONFLICT, OUTCOME_HIT, OUTCOME_MISS
 from repro.dram.energy import EnergyModel
 
@@ -23,7 +24,7 @@ def test_outcome_energy_ordering(model):
 
 
 def test_unknown_outcome_raises(model):
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         model.record_dram_access("explode")
 
 

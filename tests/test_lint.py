@@ -375,6 +375,55 @@ def test_sl008_none_default_is_silent(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SL009 no-bare-exceptions
+
+
+def test_sl009_fires_on_builtin_raises(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f(kind):\n"
+        "    if kind == 'a':\n"
+        "        raise ValueError('bad kind %r' % kind)\n"
+        "    if kind == 'b':\n"
+        "        raise Exception('boom')\n"
+        "    raise AssertionError('unreachable')\n",
+        relpath="repro/sched/snippet.py",
+        only="SL009",
+    )
+    assert len(findings) == 3
+    assert all(f.rule_id == "SL009" for f in findings)
+
+
+def test_sl009_repro_errors_reraise_and_stubs_are_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "from repro.common.errors import ConfigError, SimulationError\n"
+        "def f(kind):\n"
+        "    if kind is None:\n"
+        "        raise ConfigError('no kind', context={'kind': kind})\n"
+        "    try:\n"
+        "        g()\n"
+        "    except SimulationError:\n"
+        "        raise\n"
+        "def stub():\n"
+        "    raise NotImplementedError\n",
+        relpath="repro/sched/snippet.py",
+        only="SL009",
+    )
+    assert findings == []
+
+
+def test_sl009_only_applies_to_timing_critical_packages(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "def f():\n    raise ValueError('host-side code may use builtins')\n",
+        relpath="repro/exec/snippet.py",
+        only="SL009",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import SimulationError
 from repro.sim.metrics import (
     CoreResult,
     DramReferenceBreakdown,
@@ -89,9 +90,9 @@ def test_max_slowdown():
 
 
 def test_mismatched_lengths_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         weighted_speedup([_core(1)], [])
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         max_slowdown([_core(1)], [])
 
 
@@ -101,5 +102,5 @@ def test_simulation_result_single_core_accessor():
     assert result.total_cycles == 100
     multi = SimulationResult([_core(100), _core(200)], 5.0, 0.6)
     assert multi.total_cycles == 200
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         multi.core

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.sched.request import (
     KIND_DEMAND,
     KIND_IMP_PREFETCH,
@@ -19,7 +20,7 @@ def test_ids_are_unique_and_monotonic():
 
 
 def test_unknown_kind_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         MemoryRequest(0x1000, "speculative")
 
 

@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.common.config import default_system_config
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.sim.system import SystemSimulator
 from repro.sim.trace import RegionSpec, Trace, TraceRecord
 from repro.vm.address_space import REGION_SPACE_BASE
@@ -41,7 +41,7 @@ def test_rejects_empty_traces(config):
 
 
 def test_rejects_non_config(small_trace):
-    with pytest.raises(TypeError):
+    with pytest.raises(ConfigError):
         SystemSimulator({"core": 1}, [small_trace])
 
 

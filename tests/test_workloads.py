@@ -109,7 +109,7 @@ def test_builder_clustered_hot_set_bounded():
 
 def test_builder_rejects_empty_region():
     builder = TraceBuilder("probe", seed=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         builder.region("bad", 0)
 
 
