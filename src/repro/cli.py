@@ -15,7 +15,17 @@ Commands:
 ``stats WORKLOAD``
     Simulate one workload and print (or export) every metric in the
     unified namespace: per-core TLB/MMU-cache/walker/cache structures,
-    controller, DRAM banks, energy, and the run manifest.
+    controller, DRAM banks, energy, and the run manifest.  ``--filter``
+    narrows the dump with a glob over the dotted keys
+    (``core0.tlb.*``, ``dram.bank*.busy_cycles``); a pattern without
+    glob characters matches as a prefix.
+``timeline WORKLOAD``
+    Simulate one workload with per-unit busy/idle accounting and
+    render ASCII utilization bars, phase timelines and the top-down
+    translation/cache/DRAM/overlap bottleneck attribution
+    (``docs/observability.md``).  ``--json`` / ``--csv`` export the
+    same interval series; ``--interval`` sets the bucket width in
+    cycles and ``--sample-interval`` the metric-snapshot cadence.
 ``experiment FIGURE``
     Run one of the paper-figure experiment drivers (fig01, fig04,
     fig10, fig11_left, fig11_right, fig12, fig13, fig14, fig15, fig16,
@@ -56,6 +66,7 @@ Commands:
 """
 
 import argparse
+import fnmatch
 import os
 import sys
 from dataclasses import replace
@@ -63,6 +74,7 @@ from dataclasses import replace
 from repro.common.config import default_system_config
 from repro.verify.auditor import FULL_INTERVAL as _FULL_INTERVAL
 from repro.obs import EventTracer, write_stats_csv, write_stats_json
+from repro.obs.timeline import DEFAULT_INTERVAL as _TIMELINE_INTERVAL
 from repro.sim.runner import (
     energy_fraction,
     run_baseline_and_tempo,
@@ -123,6 +135,11 @@ def _build_executor(args):
         allow_partial=args.allow_partial,
     )
     faults = FaultSpec.parse(args.faults) if args.faults else None
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from repro.exec import TelemetryLog
+
+        telemetry = TelemetryLog(args.telemetry)
     return ExperimentExecutor(
         jobs=args.jobs,
         cache=cache,
@@ -130,6 +147,7 @@ def _build_executor(args):
         faults=faults,
         resume=args.resume,
         check_invariants=_invariant_mode(args),
+        telemetry=telemetry,
     )
 
 
@@ -143,6 +161,17 @@ def _executor_exit_code(executor, out):
         % len(executor.failed_cells)
     )
     return 3
+
+
+def _filter_stats(stats, pattern):
+    """Narrow a flat metrics dict with a glob over the dotted keys.
+
+    A pattern without glob metacharacters keeps matching as a plain
+    prefix (``--filter core0.tlb`` predates the glob support).
+    """
+    if any(ch in pattern for ch in "*?["):
+        return {k: v for k, v in stats.items() if fnmatch.fnmatchcase(k, pattern)}
+    return {k: v for k, v in stats.items() if k.startswith(pattern)}
 
 
 def _resolve_workload(args):
@@ -229,7 +258,7 @@ def _cmd_stats(args, out):
     )
     stats = result.stats
     if args.filter:
-        stats = {k: v for k, v in stats.items() if k.startswith(args.filter)}
+        stats = _filter_stats(stats, args.filter)
     for key in sorted(stats):
         value = stats[key]
         if isinstance(value, float):
@@ -240,6 +269,42 @@ def _cmd_stats(args, out):
         written = write_stats_csv(stats, args.csv)
         out.write("wrote %d metrics to %s\n" % (written, args.csv))
     _export_observability(result, tracer, args, out)
+    return 0
+
+
+def _cmd_timeline(args, out):
+    from repro.obs import (
+        TimelineRecorder,
+        render_timeline,
+        timeline_payload,
+        write_timeline_csv,
+        write_timeline_json,
+    )
+
+    config = _build_config(args)
+    try:
+        recorder = TimelineRecorder(
+            interval=args.interval, sample_interval=args.sample_interval
+        )
+    except ValueError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    run_workload(
+        _resolve_workload(args),
+        config,
+        length=args.length,
+        seed=args.seed,
+        check_invariants=_invariant_mode(args),
+        timeline=recorder,
+    )
+    payload = timeline_payload(recorder)
+    out.write(render_timeline(payload, width=args.width))
+    if args.json:
+        written = write_timeline_json(payload, args.json)
+        out.write("wrote %d unit series to %s\n" % (written, args.json))
+    if args.csv:
+        written = write_timeline_csv(payload, args.csv)
+        out.write("wrote %d timeline rows to %s\n" % (written, args.csv))
     return 0
 
 
@@ -373,7 +438,9 @@ def _cmd_report(args, out):
     from repro.exec import CellExecutionError, SweepAborted
 
     def progress(message):
-        out.write(message + "\n")
+        # Progress is interactive chatter, not a result: it goes to
+        # stderr so piping/redirecting the command stays clean.
+        sys.stderr.write(message + "\n")
 
     try:
         executor = _build_executor(args)
@@ -453,9 +520,44 @@ def build_parser():
     add_invariant_flag(stats_parser)
     stats_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
     stats_parser.add_argument(
-        "--filter", metavar="PREFIX", help="only metrics whose key starts with PREFIX"
+        "--filter",
+        metavar="GLOB",
+        help="only metrics whose dotted key matches GLOB (e.g. 'core0.tlb.*', "
+        "'dram.bank*.busy_cycles'); a pattern without glob characters "
+        "matches as a prefix",
     )
     stats_parser.add_argument("--csv", metavar="FILE", help="also export metric,value CSV")
+
+    timeline_parser = subparsers.add_parser(
+        "timeline",
+        help="render per-unit utilization bars and bottleneck attribution",
+    )
+    add_common(timeline_parser)
+    add_invariant_flag(timeline_parser)
+    timeline_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
+    timeline_parser.add_argument(
+        "--interval",
+        type=int,
+        default=_TIMELINE_INTERVAL,
+        metavar="CYCLES",
+        help="timeline bucket width in cycles (default: %d)" % _TIMELINE_INTERVAL,
+    )
+    timeline_parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="metric-snapshot cadence (default: same as --interval; 0 disables)",
+    )
+    timeline_parser.add_argument(
+        "--width", type=int, default=60, help="bar/sparkline width in characters"
+    )
+    timeline_parser.add_argument(
+        "--json", metavar="FILE", help="export the full timeline payload as JSON"
+    )
+    timeline_parser.add_argument(
+        "--csv", metavar="FILE", help="export the interval series as CSV"
+    )
 
     compare_parser = subparsers.add_parser("compare", help="baseline vs TEMPO")
     add_common(compare_parser)
@@ -515,6 +617,12 @@ def build_parser():
             metavar="SPEC",
             help="deterministic fault injection for testing, e.g. "
             "'seed=0,kill=0.3,delay=0.2,delay-seconds=0.05,abort-after=4'",
+        )
+        sub.add_argument(
+            "--telemetry",
+            metavar="FILE",
+            help="append structured sweep telemetry (batch/cell lifecycle "
+            "events with durations) to FILE as JSON lines",
         )
 
     experiment_parser = subparsers.add_parser(
@@ -580,6 +688,7 @@ def main(argv=None, out=None):
         "list": _cmd_list,
         "run": _cmd_run,
         "stats": _cmd_stats,
+        "timeline": _cmd_timeline,
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,

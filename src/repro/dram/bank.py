@@ -195,6 +195,16 @@ class DramDevice:
         total = self.address_map.total_banks
         make_bank = bank_factory if bank_factory is not None else self._default_bank
         self.banks = [make_bank(bank_id, total) for bank_id in range(total)]
+        #: Nullable per-bank utilization tracks, indexed like ``banks``
+        #: (:mod:`repro.obs.timeline`).  Occupancy is reported here at
+        #: the device level so sub-row banks (interface-compatible, not
+        #: a :class:`Bank` subclass) are covered by the same hook.
+        self._util_banks = None
+
+    def attach_util(self, bank_tracks):
+        """Wire per-bank busy/idle accounting into the utilization
+        ledger; *bank_tracks* is indexed like :attr:`banks`."""
+        self._util_banks = list(bank_tracks)
 
     def _default_bank(self, bank_id, total):
         return Bank(bank_id, total, self.config, self.row_policy, self.stats.child("bank"))
@@ -206,9 +216,10 @@ class DramDevice:
         self, paddr, now, keep_open_extra=None, cpu=0, is_prefetch=False, latency_override=None
     ):
         """Decode + access; returns ``(start, end, outcome)``."""
-        bank = self.bank_for(paddr)
+        index = self.address_map.bank_index(paddr)
+        bank = self.banks[index]
         location = self.address_map.decode(paddr)
-        return bank.access(
+        start, end, outcome = bank.access(
             location.row,
             now,
             keep_open_extra,
@@ -217,6 +228,9 @@ class DramDevice:
             row_offset=location.row_offset,
             latency_override=latency_override,
         )
+        if self._util_banks is not None:
+            self._util_banks[index].busy(start, end)
+        return start, end, outcome
 
     def classify(self, paddr, now):
         """What outcome an access at *now* would see (no state change)."""

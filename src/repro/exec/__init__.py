@@ -20,6 +20,7 @@ from repro.exec.resilience import (
     missing_cell_payload,
 )
 from repro.exec.serialize import payload_to_result, result_to_payload
+from repro.exec.telemetry import TelemetryLog
 
 __all__ = [
     "CellExecutionError",
@@ -34,6 +35,7 @@ __all__ = [
     "ResultCache",
     "SimCell",
     "SweepAborted",
+    "TelemetryLog",
     "default_cache_dir",
     "missing_cell_payload",
     "payload_to_result",

@@ -119,10 +119,14 @@ class ExperimentExecutor:
         faults=None,
         resume=False,
         check_invariants=None,
+        telemetry=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        #: Optional :class:`~repro.exec.telemetry.TelemetryLog`: every
+        #: batch/cell lifecycle event is appended to its JSONL file.
+        self.telemetry = telemetry
         #: ``off``/``sample``/``full``: forwarded to every simulation
         #: this executor runs (inline and worker-process alike).
         self.check_invariants = check_invariants
@@ -182,6 +186,8 @@ class ExperimentExecutor:
         for cell, key in zip(cells, keys):
             unique.setdefault(key, cell)
         self.counters["deduped"] += len(cells) - len(unique)
+        if self.telemetry is not None:
+            self.telemetry.batch_start(len(cells), len(unique))
 
         plan = self._materialize_faults(unique)
         self._inject_corruption(plan)
@@ -210,6 +216,8 @@ class ExperimentExecutor:
         finally:
             if checkpoint is not None:
                 checkpoint.close()
+            if self.telemetry is not None:
+                self.telemetry.batch_finish(self.counters)
 
         return [payload_to_result(resolved[key]) for key in keys]
 
@@ -221,6 +229,8 @@ class ExperimentExecutor:
         payload = self._memo.get(key)
         if payload is not None:
             self.counters["memo_hits"] += 1
+            if self.telemetry is not None:
+                self.telemetry.cache_hit(key, "memo")
             return payload
         if self.cache is None:
             return None
@@ -236,6 +246,8 @@ class ExperimentExecutor:
         self.counters["cache_hits"] += 1
         if key in prior_done:
             self.counters["resumed"] += 1
+        if self.telemetry is not None:
+            self.telemetry.cache_hit(key, "disk", resumed=key in prior_done)
         self._memo[key] = payload
         if checkpoint is not None:
             checkpoint.record(key, "done", info="cache")
@@ -250,6 +262,8 @@ class ExperimentExecutor:
         self.counters["quarantined"] += 1
         label = getattr(reason, "value", reason)
         self.quarantine_reasons[label] = self.quarantine_reasons.get(label, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.quarantine(key, label)
 
     def _execute(self, pending, resolved, plan, checkpoint):
         """Drive the missing cells through the resilient scheduler.
@@ -259,13 +273,18 @@ class ExperimentExecutor:
         loses finished work.
         """
         failures = []
+        telemetry = self.telemetry
 
         def on_state(key, state, attempt, info):
+            if telemetry is not None:
+                telemetry.cell_state(key, state, attempt, info)
             if checkpoint is not None:
                 checkpoint.record(key, state, attempt, info)
 
         def on_done(key, payload, attempt):
             self.counters["simulated"] += 1
+            if telemetry is not None:
+                telemetry.cell_done(key, attempt)
             self._memo[key] = payload
             resolved[key] = payload
             if self.cache is not None:
@@ -275,6 +294,8 @@ class ExperimentExecutor:
 
         def on_failed(failure):
             failures.append(failure)
+            if telemetry is not None:
+                telemetry.cell_failed(failure.key, failure.attempts, failure.error)
             if self.cache is not None and failure.error.startswith(
                 "InvariantViolation"
             ):

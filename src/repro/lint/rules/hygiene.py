@@ -7,8 +7,9 @@ These are the "makes the invariant rules moot" class of problems:
   the already-computed ``config_hash`` (SL005);
 * floats leaking into cycle accumulators turn exact integer timing into
   platform-dependent rounding (SL006);
-* ``print`` in library code corrupts machine-readable CLI output and
-  bypasses the observability layer (SL007);
+* ``print`` (or ``sys.stdout.write``) in library code corrupts
+  machine-readable CLI output and bypasses the observability layer
+  (SL007) -- interactive output belongs on stderr;
 * mutable default arguments alias state across calls -- across *cells*,
   in executor code (SL008).
 """
@@ -152,24 +153,31 @@ class NoPrintRule(Rule):
     name = "no-print"
     severity = "error"
     rationale = (
-        "print in library code interleaves with machine-readable CLI "
-        "output and bypasses the obs layer's structured exporters"
+        "print / sys.stdout.write in library code interleaves with "
+        "machine-readable CLI output and bypasses the obs layer's "
+        "structured exporters"
     )
     fixit = (
-        "write to the caller-supplied stream (CLI) or route through "
-        "repro.obs (tracer/metrics/progress hooks)"
+        "write to the caller-supplied stream (CLI), use stderr for "
+        "interactive progress, or route through repro.obs "
+        "(tracer/metrics/progress hooks)"
     )
 
     def check_module(self, module: Module) -> Iterator[Finding]:
         if module.name in _PRINT_ALLOWED:
             return
         for node in ast.walk(module.tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "print"
-            ):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
                 yield self.finding(module, node, "print() call in library code")
+            elif dotted_name(node.func) == "sys.stdout.write":
+                yield self.finding(
+                    module,
+                    node,
+                    "sys.stdout.write() in library code (use the "
+                    "caller-supplied stream, or stderr for progress)",
+                )
 
 
 class NoMutableDefaultsRule(Rule):

@@ -88,6 +88,13 @@ class PageTableWalker:
         #: When True, leaf-PT requests carry TEMPO's tag + line index.
         self.tempo_tagging = tempo_tagging
         self.stats = StatGroup(name)
+        #: Nullable utilization track (:mod:`repro.obs.timeline`).
+        self.util = None
+
+    def occupy(self, start, end):
+        """Report the walker state machine busy for one whole walk."""
+        if self.util is not None:
+            self.util.busy(start, end)
 
     def plan(self, vaddr):
         """Build the :class:`WalkPlan` for a TLB miss at *vaddr*.

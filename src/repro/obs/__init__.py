@@ -14,21 +14,46 @@ The measurement substrate every experiment and performance PR builds on:
   :class:`~repro.sim.metrics.SimulationResult`.
 * :class:`~repro.obs.profiler.PhaseProfiler` -- wall-clock per phase and
   records/sec throughput with a periodic progress callback.
+* :class:`~repro.obs.timeline.TimelineRecorder` -- per-unit busy/idle
+  utilization (:class:`~repro.obs.timeline.UtilizationLedger`), top-down
+  translation/cache/DRAM/overlap bottleneck attribution, and periodic
+  metric snapshots (:class:`~repro.obs.timeline.IntervalSampler`),
+  rendered by ``repro timeline``.
 
-All hooks are nullable: a simulator built without a tracer or progress
-callback pays a single ``is None`` test per record.
+All hooks are nullable: a simulator built without a tracer, timeline or
+progress callback pays a single ``is None`` test per record.
 """
 
 from repro.obs.manifest import RunManifest
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.registry import MetricsRegistry, write_stats_csv, write_stats_json
+from repro.obs.timeline import (
+    BottleneckAttributor,
+    IntervalSampler,
+    TimelineRecorder,
+    UtilizationLedger,
+    capture_timeline,
+    render_timeline,
+    timeline_payload,
+    write_timeline_csv,
+    write_timeline_json,
+)
 from repro.obs.tracer import EventTracer
 
 __all__ = [
+    "BottleneckAttributor",
     "EventTracer",
+    "IntervalSampler",
     "MetricsRegistry",
     "PhaseProfiler",
     "RunManifest",
+    "TimelineRecorder",
+    "UtilizationLedger",
+    "capture_timeline",
+    "render_timeline",
+    "timeline_payload",
     "write_stats_csv",
     "write_stats_json",
+    "write_timeline_csv",
+    "write_timeline_json",
 ]

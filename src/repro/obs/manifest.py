@@ -74,6 +74,14 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
                 ),
             )
         )
+    telemetry = getattr(executor, "telemetry", None)
+    if telemetry is not None:
+        rows.append(
+            (
+                "telemetry",
+                "%d events -> `%s`" % (telemetry.events_written, telemetry.path),
+            )
+        )
     failed = list(getattr(executor, "failed_cells", ()))
     if failed:
         rows.append(

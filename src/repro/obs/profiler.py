@@ -6,8 +6,12 @@ throughput; the summary lands in the run manifest's ``timings``.
 
 :class:`ProgressMeter` rate-limits a user progress callback to once per
 *interval* records so the callback's cost never shapes the simulation.
+With no callback it renders to **stderr** -- interactive chatter must
+never interleave with the machine-readable results on stdout (simlint
+SL007 enforces the same rule statically).
 """
 
+import sys
 import time
 
 
@@ -76,15 +80,22 @@ class _PhaseScope:
         return False
 
 
+def _stderr_progress(done, total):
+    """Default renderer: one status line per firing, on stderr so that
+    stdout stays clean for results (never ``print``/stdout here)."""
+    sys.stderr.write("progress: %d/%d records\n" % (done, total))
+
+
 class ProgressMeter:
     """Calls ``callback(done, total)`` at most once per *interval*
     records.  ``tick()`` is the hot-path entry: one increment and one
-    comparison per record between callbacks."""
+    comparison per record between callbacks.  ``callback=None`` selects
+    the default stderr renderer."""
 
     __slots__ = ("_callback", "_interval", "_total", "_done", "_next")
 
     def __init__(self, callback, total, interval=5000):
-        self._callback = callback
+        self._callback = callback if callback is not None else _stderr_progress
         self._interval = max(1, interval)
         self._total = total
         self._done = 0

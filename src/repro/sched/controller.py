@@ -108,6 +108,15 @@ class MemoryController:
         self._enqueued_counters = {}
         self._latency_hists = {}
         self._served_pt_leaf = self.stats.counter("served_pt_leaf")
+        #: Nullable utilization tracks (:mod:`repro.obs.timeline`):
+        #: per-channel bus occupancy plus the TEMPO engine's service time.
+        self._util_channels = None
+        self._util_engine = None
+
+    def attach_util(self, channel_tracks, engine_track=None):
+        """Wire busy/idle accounting into the utilization ledger."""
+        self._util_channels = list(channel_tracks)
+        self._util_engine = engine_track
 
     # ------------------------------------------------------------------
     # Submission API (used by the system simulator)
@@ -306,6 +315,10 @@ class MemoryController:
         request.finish_time = end + self._overhead
         # Bus occupied for the burst; the bank keeps working until `end`.
         self._clock[channel] = start + self._bus_cycles
+        if self._util_channels is not None:
+            self._util_channels[channel].busy(start, start + self._bus_cycles)
+            if self._util_engine is not None and request.kind == KIND_TEMPO_PREFETCH:
+                self._util_engine.busy(start, end)
         self.scheduler.on_scheduled(request, start)
         if self.energy is not None:
             self.energy.record_dram_access(outcome, request.is_prefetch)

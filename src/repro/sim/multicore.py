@@ -40,7 +40,10 @@ class MultiprogramResult:
 class MulticoreSimulator:
     """Runs a mix shared, then each application alone."""
 
-    def __init__(self, config, traces, seed=None, progress=None, check_invariants=None):
+    def __init__(
+        self, config, traces, seed=None, progress=None, check_invariants=None,
+        timeline=None,
+    ):
         self.config = config
         self.traces = list(traces)
         self.seed = seed if seed is not None else config.seed
@@ -49,6 +52,10 @@ class MulticoreSimulator:
         #: ``off``/``sample``/``full`` -- forwarded to every underlying
         #: :class:`SystemSimulator` (shared and alone runs alike).
         self.check_invariants = check_invariants
+        #: Optional :class:`~repro.obs.timeline.TimelineRecorder` for
+        #: the *shared* run only (alone runs would overwrite the shared
+        #: timeline's unit tracks with unrelated clocks).
+        self.timeline = timeline
         self.profiler = PhaseProfiler()
 
     def _announce(self, message):
@@ -70,6 +77,7 @@ class MulticoreSimulator:
                 self.traces,
                 self.seed,
                 check_invariants=self.check_invariants,
+                timeline=self.timeline,
             ).run(max_records)
         if alone_results is None:
             alone_results = self.run_alone(max_records)

@@ -17,7 +17,7 @@ def _resolve_trace(workload, length, seed):
     return make_trace(workload, length=length, seed=seed)
 
 
-def _can_use_executor(executor, workload, max_records, tracer, progress):
+def _can_use_executor(executor, workload, max_records, tracer, progress, timeline=None):
     """Executor cells are whole named-workload runs with no live hooks;
     anything else falls back to the direct path."""
     return (
@@ -26,6 +26,7 @@ def _can_use_executor(executor, workload, max_records, tracer, progress):
         and max_records is None
         and tracer is None
         and progress is None
+        and timeline is None
     )
 
 
@@ -39,12 +40,15 @@ def run_workload(
     progress=None,
     executor=None,
     check_invariants=None,
+    timeline=None,
 ):
     """Simulate one workload (a name or a prebuilt Trace) on *config*.
 
-    *tracer* (a :class:`~repro.obs.EventTracer`) records lifecycle spans
-    and *progress* is called periodically with ``(records_done, total)``;
-    both default to off and cost nothing when off.
+    *tracer* (a :class:`~repro.obs.EventTracer`) records lifecycle spans,
+    *progress* is called periodically with ``(records_done, total)``, and
+    *timeline* (a :class:`~repro.obs.timeline.TimelineRecorder`) records
+    per-unit utilization and bottleneck attribution; all default to off
+    and cost nothing when off.
 
     *executor* (an :class:`~repro.exec.ExperimentExecutor`) routes the
     run through the result cache when the workload is a name and no
@@ -54,7 +58,7 @@ def run_workload(
     """
     if config is None:
         config = default_system_config()
-    if _can_use_executor(executor, workload, max_records, tracer, progress):
+    if _can_use_executor(executor, workload, max_records, tracer, progress, timeline):
         from repro.exec import SimCell
 
         return executor.run_cell(SimCell(workload, config, length, seed))
@@ -66,6 +70,7 @@ def run_workload(
         tracer=tracer,
         progress=progress,
         check_invariants=check_invariants,
+        timeline=timeline,
     )
     return simulator.run(max_records)
 

@@ -82,6 +82,7 @@ class _CoreContext:
         "replay_service",
         "pending_prefetch_lines",
         "next_same_pattern",
+        "attributing",
     )
 
     def __init__(self, cpu, trace, address_space, tlb, mmu_caches, walker, imp):
@@ -102,6 +103,10 @@ class _CoreContext:
         #: In-flight IMP prefetches: line_id -> completion time.
         self.pending_prefetch_lines = {}
         self.next_same_pattern = trace.next_same_pattern() if imp is not None else None
+        #: True while a demand reference is being attributed; work
+        #: outside any reference (IMP prefetch paths) stays excluded
+        #: from the bottleneck buckets.
+        self.attributing = False
 
     @property
     def done(self):
@@ -122,6 +127,7 @@ class SystemSimulator:
         progress_interval=5000,
         check_invariants=None,
         force_engine=False,
+        timeline=None,
     ):
         if isinstance(traces, (list, tuple)):
             trace_list = list(traces)
@@ -139,6 +145,11 @@ class SystemSimulator:
         #: Nullable lifecycle tracer (:class:`repro.obs.EventTracer`);
         #: hot paths pay one ``is None`` test when it is off.
         self.tracer = tracer
+        #: Nullable utilization/attribution recorder
+        #: (:class:`repro.obs.timeline.TimelineRecorder`); same contract
+        #: as the tracer -- the off path is a single ``is None`` test
+        #: and none of the recorded data enters ``result.stats``.
+        self.timeline = timeline
         self._progress = progress
         self._progress_interval = progress_interval
         #: When True, every record goes through the event engine even
@@ -200,6 +211,41 @@ class SystemSimulator:
         self._tlb_fill_latency = core_config.tlb_fill_latency
         self._mmu_latency = config.mmu_cache.latency
         self._imp_distance = config.imp.max_prefetch_distance
+        if timeline is not None:
+            self._attach_utilization(timeline.ledger)
+
+    def _attach_utilization(self, ledger):
+        """Wire every simulated unit to its utilization track; the off
+        path never reaches here, so per-unit hooks stay ``None``."""
+        cpus = range(len(self.cores))
+        self.hierarchy.attach_util(
+            [ledger.unit("core%d.l1" % cpu) for cpu in cpus],
+            [ledger.unit("core%d.l2" % cpu) for cpu in cpus],
+            ledger.unit("llc"),
+        )
+        engine_track = ledger.unit("tempo.engine") if self.engine is not None else None
+        self.controller.attach_util(
+            [
+                ledger.unit("dram.channel%d" % channel)
+                for channel in range(self.controller.num_channels)
+            ],
+            engine_track,
+        )
+        self.controller.device.attach_util(
+            [
+                ledger.unit("dram.bank%d" % index)
+                for index in range(len(self.controller.device.banks))
+            ]
+        )
+        for core in self.cores:
+            prefix = "core%d" % core.cpu
+            core.tlb.attach_util(
+                ledger.unit(prefix + ".tlb.l1"), ledger.unit(prefix + ".tlb.l2")
+            )
+            core.mmu_caches.util = ledger.unit(prefix + ".mmu_cache")
+            core.walker.util = ledger.unit(prefix + ".walker")
+            if core.imp is not None:
+                core.imp.util = ledger.unit(prefix + ".imp")
 
     @staticmethod
     def _register_regions(address_space, trace):
@@ -250,6 +296,9 @@ class SystemSimulator:
             [core.trace for core in self.cores],
             warmup_records=warmup,
         )
+        sampler = self.timeline.sampler if self.timeline is not None else None
+        if sampler is not None:
+            sampler.bind(lambda: self.metrics_registry().collect())
         profiler = self.profiler
         try:
             if len(self.cores) == 1:
@@ -274,6 +323,8 @@ class SystemSimulator:
         if self.audit is not None:
             self.manifest.audit = self.audit.summary()
         total_cycles = max(max(core.time for core in self.cores), final_time)
+        if sampler is not None:
+            sampler.finish(total_cycles)
         return self._build_result(total_cycles)
 
     def _report_crash(self, exc):
@@ -329,7 +380,13 @@ class SystemSimulator:
         counters); tracing or IMP disable the fast path entirely.
         """
         records = core.trace.records
-        fast = self.tracer is None and core.imp is None and not self._force_engine
+        fast = (
+            self.tracer is None
+            and core.imp is None
+            and not self._force_engine
+            and self.timeline is None
+        )
+        sampler = self.timeline.sampler if self.timeline is not None else None
 
         audit = self.audit
         recorder = self.recorder
@@ -402,6 +459,8 @@ class SystemSimulator:
                 meter.tick()
             if audit is not None:
                 audit.tick(self)
+            if sampler is not None:
+                sampler.maybe_sample(core.time)
 
     def _run_interleaved(self, limits, warmup, meter=None):
         """Event-driven interleave of per-core streams.
@@ -416,6 +475,7 @@ class SystemSimulator:
         """
         controller = self.controller
         warm_cores = 0
+        sampler = self.timeline.sampler if self.timeline is not None else None
         # Per-cpu state: ("run", generator, reply) | ("blocked",) | None.
         state = {}
         blocked = {}  # req_id -> (cpu, generator, request)
@@ -454,6 +514,8 @@ class SystemSimulator:
                             meter.tick()
                         if self.audit is not None:
                             self.audit.tick(self)
+                        if sampler is not None:
+                            sampler.maybe_sample(core.time)
                         events = start_next(core)
                         if events is None:
                             state[cpu] = None
@@ -605,9 +667,15 @@ class SystemSimulator:
         means "probe here".
         """
         tracer = self.tracer
+        timeline = self.timeline
         time = core.time + record.gap * self._nonmem_per_gap
         self._expire_pending_prefetches(core, time)
         arrival = time
+        attribution = None
+        if timeline is not None:
+            attribution = timeline.attribution
+            attribution.begin(core.cpu, arrival)
+            core.attributing = True
 
         vaddr = record.vaddr
         if hit is _TLB_PROBE:
@@ -617,6 +685,9 @@ class SystemSimulator:
         if hit is not None:
             frame, page_size, extra_latency = hit
             time += 1 + extra_latency
+            if timeline is not None:
+                core.tlb.report_lookup(arrival, hit)
+                attribution.add_translation(core.cpu, 1 + extra_latency)
             if tracer is not None:
                 tracer.span(
                     "tlb_lookup",
@@ -627,6 +698,8 @@ class SystemSimulator:
                 )
         else:
             walked = True
+            if timeline is not None:
+                core.tlb.report_lookup(arrival, None)
             if tracer is not None:
                 tracer.span(
                     "tlb_lookup", core.cpu, arrival, arrival + 1, {"outcome": "miss"}
@@ -643,6 +716,12 @@ class SystemSimulator:
         for victim in self.hierarchy.drain_writebacks():
             self.controller.submit_writeback(victim.paddr, core.cpu, time)
             core.dram_refs.writeback += 1
+
+        if attribution is not None:
+            # The reference retires here; the IMP trigger below runs
+            # outside it and stays out of the buckets.
+            attribution.end(core.cpu, time)
+            core.attributing = False
 
         if core.imp is not None:
             yield from self._imp_trigger(core, record, time)
@@ -677,8 +756,12 @@ class SystemSimulator:
         ``(time, frame, page_size, leaf_pt_request_or_None)`` where the
         request is non-None only when the leaf access reached DRAM."""
         tracer = self.tracer
+        timeline = self.timeline
+        attribution = timeline.attribution if timeline is not None else None
         begin = time
         time += 1  # TLB probe that missed
+        if attribution is not None:
+            attribution.add_translation(core.cpu, 1)
         plan = core.walker.plan(vaddr)
         if plan.faulted:
             # Demand paging: the OS maps the page (steady-state traces,
@@ -698,6 +781,9 @@ class SystemSimulator:
         leaf_pt_request = None
         for step in plan.steps:
             if step.from_mmu_cache:
+                if timeline is not None:
+                    core.mmu_caches.occupy(time, time + self._mmu_latency)
+                    attribution.add_translation(core.cpu, self._mmu_latency)
                 if tracer is not None:
                     tracer.span(
                         "mmu_cache",
@@ -717,6 +803,9 @@ class SystemSimulator:
         page_size = plan.entry.page_size
         core.tlb.fill(vaddr, frame, page_size)
         time += self._tlb_fill_latency
+        if timeline is not None:
+            attribution.add_translation(core.cpu, self._tlb_fill_latency)
+            core.walker.occupy(begin, time)
         self._walk_hist.record(time - begin)
         if self.recorder is not None:
             self.recorder.record(
@@ -746,8 +835,15 @@ class SystemSimulator:
     def _fetch_pt_entry(self, core, plan, step, time):
         """One walk memory reference through caches (and maybe DRAM)."""
         tracer = self.tracer
+        timeline = self.timeline
         begin = time
         result = self.hierarchy.access(core.cpu, step.entry_paddr)
+        if timeline is not None:
+            # Occupancy is always real; attribution only applies inside
+            # a demand reference (IMP walks share this path).
+            self.hierarchy.report_probe(core.cpu, result, time)
+            if core.attributing:
+                timeline.attribution.add_translation(core.cpu, result.latency)
         time += result.latency
         if not result.needs_dram:
             if tracer is not None:
@@ -771,6 +867,8 @@ class SystemSimulator:
         )
         finish = yield ("dram", request, time)
         dram_cycles = finish - time
+        if timeline is not None and core.attributing:
+            timeline.attribution.add_dram(core.cpu, dram_cycles)
         core.runtime.dram_ptw_cycles += dram_cycles
         if step.is_leaf:
             core.dram_refs.ptw_leaf += 1
@@ -812,6 +910,7 @@ class SystemSimulator:
     def _post_translation(self, core, record, paddr, time, walked, leaf_pt_request):
         """The replay (after a walk) or regular (after a TLB hit) access."""
         tracer = self.tracer
+        timeline = self.timeline
         begin = time
         span_name = "replay" if walked else "access"
         tempo_active = self.engine is not None and leaf_pt_request is not None
@@ -833,6 +932,11 @@ class SystemSimulator:
                 self.energy.record_llc_fill()
                 probe = self.hierarchy.access(core.cpu, paddr, record.is_write)
                 core.replay_service.llc += 1
+                if timeline is not None:
+                    # The replay's DRAM time was hidden by the timely
+                    # prefetch; what remains is pure overlap win.
+                    self.hierarchy.report_probe(core.cpu, probe, time)
+                    timeline.attribution.add_overlap(core.cpu, probe.latency)
                 if tracer is not None:
                     tracer.span(
                         span_name,
@@ -847,9 +951,14 @@ class SystemSimulator:
         line = cache_line_base(paddr)
         pending_completion = core.pending_prefetch_lines.pop(line, None)
         if pending_completion is not None and pending_completion > time:
+            if timeline is not None:
+                timeline.attribution.add_dram(core.cpu, pending_completion - time)
             time = pending_completion
 
         result = self.hierarchy.access(core.cpu, paddr, record.is_write)
+        if timeline is not None:
+            self.hierarchy.report_probe(core.cpu, result, time)
+            timeline.attribution.add_cache(core.cpu, result.latency)
         time += result.latency
         if not result.needs_dram:
             if tempo_active:
@@ -870,6 +979,8 @@ class SystemSimulator:
         )
         finish = yield ("dram", request, time)
         dram_cycles = finish - time
+        if timeline is not None:
+            timeline.attribution.add_dram(core.cpu, dram_cycles)
         self.hierarchy.fill_from_memory(core.cpu, paddr, record.is_write)
         self.energy.record_llc_fill()
 
@@ -951,6 +1062,7 @@ class SystemSimulator:
         the completion time gates when the prefetched line becomes
         usable (MSHR-style merge in :meth:`_post_translation`).
         """
+        timeline = self.timeline
         path_time = time
         hit = core.tlb.lookup(vaddr)
         leaf_pt_request = None
@@ -998,9 +1110,13 @@ class SystemSimulator:
                 self.energy.record_llc_fill()
                 core.replay_service.llc += 1
                 core.pending_prefetch_lines[line] = llc_lookup_time
+                if timeline is not None:
+                    core.imp.occupy(time, llc_lookup_time)
                 return
 
         result = self.hierarchy.access(core.cpu, paddr)
+        if timeline is not None:
+            self.hierarchy.report_probe(core.cpu, result, path_time)
         path_time += result.latency
         if result.needs_dram:
             request = MemoryRequest(
@@ -1016,3 +1132,5 @@ class SystemSimulator:
             self.energy.record_llc_fill()
             core.dram_refs.prefetch += 1
         core.pending_prefetch_lines[line] = path_time
+        if timeline is not None:
+            core.imp.occupy(time, path_time)

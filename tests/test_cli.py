@@ -104,6 +104,77 @@ def test_stats_command_csv_export(tmp_path):
     assert len(lines) > 10
 
 
+def test_stats_filter_accepts_globs():
+    code, output = run_cli(
+        "stats", "mcf", "--length", "400", "--filter", "core0.tlb.*"
+    )
+    assert code == 0
+    lines = output.strip().splitlines()
+    assert lines
+    assert all(line.startswith("core0.tlb.") for line in lines)
+    # A glob can reach across prefixes, which a plain prefix cannot.
+    code, output = run_cli(
+        "stats", "mcf", "--length", "400", "--filter", "*.walker.walks"
+    )
+    assert code == 0
+    assert any(line.startswith("core0.walker.walks") for line in output.splitlines())
+
+
+def test_stats_filter_glob_without_match_is_empty():
+    code, output = run_cli(
+        "stats", "mcf", "--length", "400", "--filter", "no.such.unit.*"
+    )
+    assert code == 0
+    assert output.strip() == ""
+
+
+def test_timeline_command_renders_bars_and_attribution():
+    code, output = run_cli("timeline", "xsbench", "--length", "800", "--width", "40")
+    assert code == 0
+    assert "per-unit utilization" in output
+    assert "core0.walker" in output
+    assert "bottleneck attribution" in output
+    assert "unattributed cycles: 0" in output
+
+
+def test_timeline_command_exports_json_and_csv(tmp_path):
+    json_path = str(tmp_path / "timeline.json")
+    csv_path = str(tmp_path / "timeline.csv")
+    code, output = run_cli(
+        "timeline", "xsbench", "--length", "800",
+        "--interval", "512", "--json", json_path, "--csv", csv_path,
+    )
+    assert code == 0
+    payload = json.load(open(json_path))
+    assert payload["schema_version"] == 1
+    assert payload["attribution"]["unattributed_cycles"] == 0
+    assert {unit["name"] for unit in payload["units"]} >= {"core0.walker", "llc"}
+    lines = open(csv_path).read().splitlines()
+    assert lines[0] == "kind,name,interval_start,value"
+    assert len(lines) > 10
+
+
+def test_timeline_command_rejects_bad_interval():
+    code, output = run_cli("timeline", "xsbench", "--length", "400", "--interval", "0")
+    assert code == 2
+    assert "error:" in output
+
+
+def test_experiment_telemetry_flag_writes_jsonl(tmp_path):
+    path = str(tmp_path / "telemetry.jsonl")
+    code, output = run_cli(
+        "experiment", "fig01", "--length", "400", "--workloads", "xsbench",
+        "--no-cache", "--telemetry", path,
+    )
+    assert code == 0
+    events = [json.loads(line) for line in open(path)]
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "batch_start"
+    assert "batch_finish" in kinds
+    assert any(k in ("cell_done", "cache_hit") for k in kinds)
+    assert all(event["schema"] == 1 for event in events)
+
+
 def test_experiment_fixed_set_warns_on_workloads_filter():
     code, output = run_cli(
         "experiment", "fig17", "--length", "200", "--workloads", "xsbench"

@@ -116,6 +116,71 @@ def test_cell_results_bit_identical_across_paths(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Sweep telemetry
+# ----------------------------------------------------------------------
+
+
+def test_telemetry_log_records_batch_and_cell_lifecycle(tmp_path):
+    from repro.exec import TelemetryLog
+
+    path = str(tmp_path / "telemetry.jsonl")
+    log = TelemetryLog(path)
+    executor = ExperimentExecutor(telemetry=log)
+    cells = _pair_cells()
+    executor.run_cells(cells)
+    executor.run_cells(cells)  # second batch: served from the memo
+    log.close()
+
+    events = [json.loads(line) for line in open(path)]
+    assert log.events_written == len(events)
+    kinds = [event["event"] for event in events]
+    assert kinds.count("batch_start") == 2
+    assert kinds.count("batch_finish") == 2
+    assert kinds.count("cell_done") == len(cells)
+    done = [event for event in events if event["event"] == "cell_done"]
+    assert all(event.get("duration_seconds", 0) >= 0 for event in done)
+    memo_hits = [
+        event for event in events
+        if event["event"] == "cache_hit" and event["source"] == "memo"
+    ]
+    assert len(memo_hits) == len(cells)
+    assert all(event["schema"] == 1 for event in events)
+
+
+def test_telemetry_disk_cache_hits_and_provenance(tmp_path):
+    from repro.exec import TelemetryLog
+    from repro.obs.manifest import executor_provenance
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    ExperimentExecutor(cache=cache).run_cells(_pair_cells())
+
+    path = str(tmp_path / "telemetry.jsonl")
+    log = TelemetryLog(path)
+    warm = ExperimentExecutor(cache=cache, telemetry=log)
+    warm.run_cells(_pair_cells())
+    events = [json.loads(line) for line in open(path)]
+    disk_hits = [
+        event for event in events
+        if event["event"] == "cache_hit" and event["source"] == "disk"
+    ]
+    assert len(disk_hits) == len(_pair_cells())
+    rows = dict(executor_provenance(warm))
+    assert "telemetry" in rows
+    assert path in rows["telemetry"]
+    log.close()
+
+
+def test_telemetry_does_not_change_results(tmp_path):
+    from repro.exec import TelemetryLog
+
+    plain = ExperimentExecutor().run_cells(_pair_cells())
+    log = TelemetryLog(str(tmp_path / "telemetry.jsonl"))
+    logged = ExperimentExecutor(telemetry=log).run_cells(_pair_cells())
+    for expected, actual in zip(plain, logged):
+        _assert_identical(expected, actual)
+
+
+# ----------------------------------------------------------------------
 # Cache addressing and invalidation
 # ----------------------------------------------------------------------
 

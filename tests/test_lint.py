@@ -336,6 +336,45 @@ def test_sl007_fires_in_library_code(tmp_path):
     assert len(findings) == 1
 
 
+def test_sl007_fires_on_stdout_write_in_library_code(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "import sys\ndef f():\n    sys.stdout.write('chatter')\n",
+        relpath="repro/obs/x.py",
+        only="SL007",
+    )
+    assert len(findings) == 1
+    assert "sys.stdout.write" in findings[0].message
+
+
+def test_sl007_stderr_and_caller_streams_are_silent(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "import sys\n"
+        "def f(out):\n"
+        "    sys.stderr.write('progress\\n')\n"
+        "    out.write('result\\n')\n",
+        relpath="repro/obs/x.py",
+        only="SL007",
+    )
+    assert findings == []
+
+
+def test_sl007_per_file_audit_of_library_is_clean():
+    """Per-file audit: no library module prints or writes to stdout.
+
+    Runs SL007 over every file under ``src/repro`` individually so a
+    regression names the exact offending module."""
+    from repro.lint.engine import discover_files
+
+    dirty = []
+    for path in discover_files([SRC_REPRO]):
+        findings = lint_paths([path], rules=[RULES_BY_ID["SL007"]])
+        if findings:
+            dirty.append((path, [f.message for f in findings]))
+    assert dirty == []
+
+
 def test_sl007_cli_is_exempt_and_docstrings_do_not_count(tmp_path):
     assert (
         lint_snippet(tmp_path, "print('usage')\n", relpath="repro/cli.py", only="SL007")

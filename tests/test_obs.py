@@ -142,6 +142,16 @@ def test_progress_meter_rate_limits():
     assert len(calls) <= 4  # 40, 80, finish (plus at most one boundary)
 
 
+def test_progress_meter_defaults_to_stderr(capsys):
+    meter = ProgressMeter(None, 50, interval=25)
+    for _ in range(50):
+        meter.tick()
+    meter.finish()
+    captured = capsys.readouterr()
+    assert captured.out == ""  # stdout stays clean for results
+    assert "progress: 50/50 records" in captured.err
+
+
 # ----------------------------------------------------------------------
 # Simulator integration
 # ----------------------------------------------------------------------
