@@ -38,7 +38,7 @@ from repro.sim.runner import (
 from repro.sim.system import SystemSimulator
 from repro.workloads.registry import make_trace, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",

@@ -148,6 +148,7 @@ def _build_executor(args):
         resume=args.resume,
         check_invariants=_invariant_mode(args),
         telemetry=telemetry,
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -239,6 +240,7 @@ def _cmd_run(args, out):
         seed=args.seed,
         tracer=tracer,
         check_invariants=_invariant_mode(args),
+        kernel=args.kernel,
     )
     _print_result(result, out)
     _export_observability(result, tracer, args, out)
@@ -255,6 +257,7 @@ def _cmd_stats(args, out):
         seed=args.seed,
         tracer=tracer,
         check_invariants=_invariant_mode(args),
+        kernel=args.kernel,
     )
     stats = result.stats
     if args.filter:
@@ -311,7 +314,8 @@ def _cmd_timeline(args, out):
 def _cmd_compare(args, out):
     config = _build_config(args)
     baseline, tempo = run_baseline_and_tempo(
-        _resolve_workload(args), config, length=args.length, seed=args.seed
+        _resolve_workload(args), config, length=args.length, seed=args.seed,
+        kernel=getattr(args, "kernel", None),
     )
     out.write("baseline cycles: %d\n" % baseline.total_cycles)
     out.write("tempo cycles:    %d\n" % tempo.total_cycles)
@@ -484,6 +488,17 @@ def build_parser():
         sub.add_argument("--imp", action="store_true", help="enable the IMP prefetcher")
         sub.add_argument("--memhog", type=float, help="memhog fragmentation fraction")
 
+    def add_kernel_flag(sub):
+        sub.add_argument(
+            "--kernel",
+            choices=("scalar", "batch"),
+            default="scalar",
+            help="hot-loop kernel: 'scalar' resolves one reference at a "
+            "time, 'batch' classifies chunks against struct-of-arrays "
+            "snapshots and bulk-applies the regular majority "
+            "(bit-identical; see docs/performance.md)",
+        )
+
     def add_invariant_flag(sub):
         sub.add_argument(
             "--check-invariants",
@@ -510,6 +525,7 @@ def build_parser():
     add_common(run_parser)
     add_observability(run_parser)
     add_invariant_flag(run_parser)
+    add_kernel_flag(run_parser)
     run_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
 
     stats_parser = subparsers.add_parser(
@@ -518,6 +534,7 @@ def build_parser():
     add_common(stats_parser)
     add_observability(stats_parser)
     add_invariant_flag(stats_parser)
+    add_kernel_flag(stats_parser)
     stats_parser.add_argument("--no-tempo", action="store_true", help="disable TEMPO")
     stats_parser.add_argument(
         "--filter",
@@ -561,6 +578,7 @@ def build_parser():
 
     compare_parser = subparsers.add_parser("compare", help="baseline vs TEMPO")
     add_common(compare_parser)
+    add_kernel_flag(compare_parser)
 
     trace_parser = subparsers.add_parser("trace", help="generate a trace file")
     trace_parser.add_argument("workload")
@@ -633,6 +651,7 @@ def build_parser():
     experiment_parser.add_argument("--workloads", nargs="*", default=None)
     add_executor_flags(experiment_parser)
     add_invariant_flag(experiment_parser)
+    add_kernel_flag(experiment_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="run every figure driver and write a markdown report"
@@ -643,6 +662,7 @@ def build_parser():
     )
     add_executor_flags(report_parser)
     add_invariant_flag(report_parser)
+    add_kernel_flag(report_parser)
 
     verify_parser = subparsers.add_parser(
         "verify", help="run the differential/metamorphic oracle suite"

@@ -47,14 +47,16 @@ from repro.exec.resilience import (
 from repro.exec.serialize import payload_to_result, result_to_payload
 
 
-def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None):
+def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None, kernel=None):
     """Run one cell to completion and return its payload dict.
 
     *cache* (a :class:`~repro.exec.cache.ResultCache`) supplies and
     receives persisted traces; *trace_memo* is an optional in-process
     ``(name, length, seed) -> Trace`` memo for serial execution;
     *check_invariants* (``off``/``sample``/``full``) arms the online
-    audit suite for the run.
+    audit suite for the run; *kernel* (``scalar``/``batch``) selects the
+    hot-loop kernel (bit-identical results either way -- the choice is
+    recorded in the payload's ``manifest.kernel`` stat).
     """
     # Imported here so pool workers pay the import once per process and
     # the module stays importable without the full sim stack.
@@ -75,12 +77,18 @@ def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None):
             trace_memo[memo_key] = trace
         traces.append(trace)
     result = SystemSimulator(
-        cell.config, traces, seed=cell.seed, check_invariants=check_invariants
+        cell.config,
+        traces,
+        seed=cell.seed,
+        check_invariants=check_invariants,
+        kernel=kernel,
     ).run()
     return result_to_payload(result)
 
 
-def _resilience_worker(cell, cache_root, attempt, plan, channel, check_invariants=None):
+def _resilience_worker(
+    cell, cache_root, attempt, plan, channel, check_invariants=None, kernel=None
+):
     """Top-level worker entry point: one cell, one process.
 
     Injects any scheduled faults first (a ``kill`` fault ``os._exit``s
@@ -96,7 +104,9 @@ def _resilience_worker(cell, cache_root, attempt, plan, channel, check_invariant
             (
                 cell.key(),
                 "ok",
-                simulate_cell(cell, cache, check_invariants=check_invariants),
+                simulate_cell(
+                    cell, cache, check_invariants=check_invariants, kernel=kernel
+                ),
             )
         )
     except BaseException as exc:
@@ -120,10 +130,15 @@ class ExperimentExecutor:
         resume=False,
         check_invariants=None,
         telemetry=None,
+        kernel=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        #: ``scalar``/``batch``: the hot-loop kernel every simulation
+        #: this executor runs uses (recorded in each result's
+        #: ``manifest.kernel``; both kernels are bit-identical).
+        self.kernel = kernel or "scalar"
         #: Optional :class:`~repro.exec.telemetry.TelemetryLog`: every
         #: batch/cell lifecycle event is appended to its JSONL file.
         self.telemetry = telemetry
@@ -165,6 +180,8 @@ class ExperimentExecutor:
             "crashes": 0,
             "quarantined": 0,
             "failed": 0,
+            "inline_batches": 0,
+            "isolated_batches": 0,
         }
         #: Per-cause quarantine tally (``corrupt`` / ``stale-schema`` /
         #: ``invariant-violation``), surfaced by :meth:`summary` and the
@@ -321,12 +338,21 @@ class ExperimentExecutor:
                 self.cache,
                 self._trace_memo,
                 check_invariants=self.check_invariants,
+                kernel=self.kernel,
             )
 
         cache_root = self.cache.root if self.cache is not None else None
 
         def worker_args(cell, attempt, channel):
-            return (cell, cache_root, attempt, plan, channel, self.check_invariants)
+            return (
+                cell,
+                cache_root,
+                attempt,
+                plan,
+                channel,
+                self.check_invariants,
+                self.kernel,
+            )
 
         stats = execute_resilient(
             pending,
@@ -342,6 +368,10 @@ class ExperimentExecutor:
         )
         for name in ("retries", "timeouts", "crashes"):
             self.counters[name] += stats[name]
+        if stats.get("isolated"):
+            self.counters["isolated_batches"] += 1
+        else:
+            self.counters["inline_batches"] += 1
 
         if failures:
             self.failed_cells.extend(failures)

@@ -285,17 +285,55 @@ RunInline = Callable[[SimCell], Payload]
 WorkerArgs = Callable[[SimCell, int, Any], Tuple[Any, ...]]
 
 
+#: Estimated cost of forking, importing, and tearing down one worker
+#: process.  Measured ~0.2-0.4s on CI runners; the exact value only
+#: moves the inline/isolated break-even point for tiny batches.
+SPAWN_OVERHEAD_SECONDS = 0.3
+
+#: Conservative throughput estimate used to price a cell before running
+#: it (records/sec of the scalar kernel on slow hardware).  Erring low
+#: biases toward isolation, which is always correct, just slower.
+EST_RECORDS_PER_SEC = 20000.0
+
+
+def estimate_cell_seconds(cell: SimCell) -> float:
+    """Rough wall-clock estimate for one cell (trace length x cores)."""
+    return cell.length * max(1, len(cell.workloads)) / EST_RECORDS_PER_SEC
+
+
 def needs_isolation(
-    jobs: int, policy: ResiliencePolicy, plan: Optional[FaultPlan]
+    jobs: int,
+    policy: ResiliencePolicy,
+    plan: Optional[FaultPlan],
+    pending: Optional[Mapping[str, SimCell]] = None,
 ) -> bool:
-    """Whether cells must run in worker processes: parallelism, a kill
-    switch (timeouts), or kill faults all require a process boundary;
-    plain retries do not."""
-    if jobs > 1:
-        return True
+    """Whether cells must (or should) run in worker processes.
+
+    A kill switch (timeouts) or kill faults *require* a process
+    boundary.  Parallelism merely *allows* one -- and at CI scale the
+    spawn overhead dwarfs per-cell work, which is how BENCH_perf.json
+    ended up with ``parallel_speedup < 1``.  With *pending* available,
+    the choice becomes a cost model: spawn only when the estimated
+    serial time exceeds the estimated parallel time including one spawn
+    per cell.  Without *pending* (legacy callers), any ``jobs > 1``
+    isolates, as before.
+    """
     if policy.cell_timeout is not None:
         return True
-    return plan is not None and plan.has_kills()
+    if plan is not None and plan.has_kills():
+        return True
+    if jobs <= 1:
+        return False
+    if pending is None:
+        return True
+    n = len(pending)
+    if n <= 1:
+        return False
+    per_cell = max(estimate_cell_seconds(cell) for cell in pending.values())
+    serial = n * per_cell
+    waves = -(-n // jobs)  # ceil
+    parallel = waves * (per_cell + SPAWN_OVERHEAD_SECONDS)
+    return parallel < serial
 
 
 def execute_resilient(
@@ -316,10 +354,12 @@ def execute_resilient(
     Results, journal entries, and cache writes happen through the hooks
     *as each cell completes*, so an abort (``SweepAborted``,
     ``KeyboardInterrupt``) never loses finished work.  Returns scheduler
-    stats: ``retries``, ``timeouts``, ``crashes``.
+    stats: ``retries``, ``timeouts``, ``crashes``, plus ``isolated``
+    (1 when worker processes were used, 0 for the inline path) so the
+    executor can record the chosen mode in its provenance.
     """
-    if needs_isolation(jobs, policy, plan):
-        return _execute_isolated(
+    if needs_isolation(jobs, policy, plan, pending):
+        stats = _execute_isolated(
             pending,
             jobs=jobs,
             policy=policy,
@@ -330,7 +370,9 @@ def execute_resilient(
             on_done=on_done,
             on_failed=on_failed,
         )
-    return _execute_inline(
+        stats["isolated"] = 1
+        return stats
+    stats = _execute_inline(
         pending,
         policy=policy,
         plan=plan,
@@ -339,6 +381,8 @@ def execute_resilient(
         on_done=on_done,
         on_failed=on_failed,
     )
+    stats["isolated"] = 0
+    return stats
 
 
 def _backoff(policy: ResiliencePolicy, attempt: int) -> None:

@@ -63,6 +63,22 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
     ]
     if resilience:
         rows.append(("resilience", ", ".join(resilience)))
+    modes = [
+        "%d %s" % (counters.get(name, 0), label)
+        for name, label in (
+            ("inline_batches", "inline"),
+            ("isolated_batches", "worker-isolated"),
+        )
+        if counters.get(name, 0)
+    ]
+    if modes:
+        rows.append(
+            (
+                "execution",
+                "kernel=%s; %s"
+                % (getattr(executor, "kernel", "scalar"), ", ".join(modes)),
+            )
+        )
     reasons: Mapping[str, int] = getattr(executor, "quarantine_reasons", None) or {}
     if reasons:
         rows.append(
@@ -109,11 +125,12 @@ class RunManifest:
         "warmup_records",
         "package_version",
         "python_version",
+        "kernel",
         "timings",
         "audit",
     )
 
-    def __init__(self, config: Any, seed: int, traces: Sequence[Any], warmup_records: Optional[int] = None, timings: Optional[Mapping[str, float]] = None) -> None:
+    def __init__(self, config: Any, seed: int, traces: Sequence[Any], warmup_records: Optional[int] = None, timings: Optional[Mapping[str, float]] = None, kernel: str = "scalar") -> None:
         # Imported here: repro/__init__ imports the sim stack which may
         # import us; reaching for the version lazily avoids the cycle.
         from repro import __version__
@@ -133,6 +150,10 @@ class RunManifest:
         self.warmup_records = warmup_records
         self.package_version = __version__
         self.python_version = platform.python_version()
+        #: Which hot-loop kernel produced the result ("scalar" or
+        #: "batch").  Cached cells carry this in their stats payload, so
+        #: a report can always say which kernel simulated each cell.
+        self.kernel = kernel
         #: Wall-clock phase timings + throughput, filled in by the
         #: simulator's profiler after the run.
         self.timings: Dict[str, float] = dict(timings) if timings else {}
@@ -155,6 +176,7 @@ class RunManifest:
             "warmup_records": self.warmup_records,
             "package_version": self.package_version,
             "python_version": self.python_version,
+            "kernel": self.kernel,
             "timings": self.timings,
         }
         if self.audit is not None:
@@ -169,6 +191,7 @@ class RunManifest:
             "%s.num_cores" % prefix: self.num_cores,
             "%s.package_version" % prefix: self.package_version,
             "%s.python_version" % prefix: self.python_version,
+            "%s.kernel" % prefix: self.kernel,
             "%s.workloads" % prefix: "+".join(t["name"] for t in self.traces),
             "%s.trace_records" % prefix: sum(t["records"] for t in self.traces),
         }

@@ -1,0 +1,437 @@
+"""Batch simulation kernel: struct-of-arrays chunks + run-resolved stat
+application, bit-identical to the scalar engine.
+
+The scalar fast path in ``SystemSimulator._run_single`` pays a fixed
+per-record toll for the *regular majority* -- records whose translation
+hits an L1 TLB array and whose line hits the L1 data cache: a
+``tlb.lookup`` call (up to three array probes, three counter-registry
+lookups, an LRU pop/reinsert), a ``hierarchy.access`` call (plus an
+``AccessResult`` allocation), and per-record driver bookkeeping.  This
+kernel removes that toll by resolving regular records in *runs*:
+
+1. **SoA chunking.**  The trace is mirrored chunk-by-chunk (about
+   1-4k records, :data:`DEFAULT_BATCH_SIZE`) into struct-of-arrays
+   form: per-page-size VPNs, per-page-size line offsets, the gaps, and
+   the write flags.  With numpy present the mirrors are produced by
+   vectorized shifts/masks over one ``int64`` array; without it, by
+   equivalent list comprehensions.  The mirrors are derived from the
+   *immutable trace only* -- they never go stale, so the two builds are
+   interchangeable and everything downstream of the build is shared
+   code (the pure-Python fallback passes the same differential oracle
+   by construction).
+
+2. **Run classification against live state.**  Records are classified
+   directly against the live TLB set dicts and L1 cache set dicts --
+   plain membership probes, no counter-registry traffic, no
+   intermediate result objects.  A run ends at the first *irregular*
+   record (L1 TLB miss or L1 cache miss), which drains through the
+   unmodified scalar paths (the inline fast path for TLB hits, the
+   event engine for full TLB misses).  Because classification reads
+   the ground truth there is no snapshot to go stale: any state change
+   made by irregular records, page walks, fills, or other cores is
+   visible to the very next probe.
+
+3. **Run-resolved application.**  A regular record's complete effect
+   set is closed-form, and splits into per-record dict permutations
+   and per-run counter sums:
+
+   * the hitting TLB entry and the cache line move to MRU position and
+     the line's dirty bit ORs with ``is_write`` -- applied in record
+     order with the same ``pop``/reinsert the scalar engine performs,
+     so the final dict state is identical by construction;
+   * ``core.time`` advances by ``gap * nonmem_per_gap + 1 +
+     l1_latency`` per record -- summed over the run;
+   * per-array TLB hit/miss counters (a 2M hit records a 4K miss
+     first, a 1G hit records 4K and 2M misses first -- the probe order
+     of ``TlbHierarchy.lookup``), the hierarchy-level ``l1_hits``
+     counter, and the cache's ``hits`` counter -- bumped once per run
+     with the run's level counts.  Counter objects are created lazily
+     and only bumped when nonzero, so the exported stat namespace
+     holds exactly the keys a scalar run creates.
+
+   Counter increments commute across the run, so the run-resolved
+   application is bit-identical to the scalar engine's record-by-record
+   replay (``test_kernel`` pins this on every registered workload).
+
+Two guards keep the claim airtight:
+
+* the kernel refuses to claim regular records while DRAM writebacks
+  are pending (``hierarchy._pending_dram_writebacks``), because the
+  scalar fast path drains that list on *every* TLB-hit record -- even
+  a pure L1 hit has a side effect then;
+* a run never crosses ``bound`` (the warmup boundary or the record
+  limit), so measurement resets land at exactly the scalar positions.
+
+The kernel claims no record that involves DRAM, page walks, TEMPO/IMP
+prefetching, or observer hooks; those drain through the existing engine
+unchanged (the ``batch_ok`` gate in ``SystemSimulator.run``).  Two
+entry points exist: :meth:`BatchKernel.drive` owns the whole
+single-core loop between page walks (it may block on DRAM), while
+:meth:`BatchKernel.consume_regular` claims at most one regular run and
+never blocks, which is what the multicore event interleave needs to
+keep cross-core causality.
+"""
+
+import importlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.addressing import LINE_MASK, PAGE_OFFSET_MASKS
+from repro.common.constants import (
+    PAGE_SHIFTS,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+)
+from repro.sched.request import KIND_DEMAND, MemoryRequest
+
+#: Default number of records mirrored into SoA form per chunk.  Large
+#: enough to amortize the mirror build, small enough to stay cache-warm.
+DEFAULT_BATCH_SIZE = 2048
+
+#: L1 TLB probe order (must match ``TlbHierarchy.lookup``).
+_L1_PAGE_SIZES = (PAGE_SIZE_4K, PAGE_SIZE_2M, PAGE_SIZE_1G)
+
+
+def _load_numpy() -> Optional[Any]:
+    """Import numpy if the environment has it (it is never required)."""
+    try:
+        return importlib.import_module("numpy")
+    except ImportError:
+        return None
+
+
+_np: Any = _load_numpy()
+
+
+def numpy_available() -> bool:
+    """True when the SoA mirrors are built with vectorized numpy ops."""
+    return _np is not None
+
+
+class BatchKernel:
+    """Resolves runs of regular records for one core in bulk.
+
+    One kernel instance is bound per core by the batch drivers in
+    :mod:`repro.sim.system`; see the module docstring for the
+    correctness argument.
+    """
+
+    def __init__(
+        self, simulator: Any, core: Any, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        # Captured at construction so tests can monkeypatch the module
+        # global to force the pure-Python mirror build.
+        self._np = _np
+        self._batch = max(1, int(batch_size))
+        self._core = core
+        self._records = core.trace.records
+        # --- live L1 TLB views, in probe order (4K, 2M, 1G) ---
+        tlb = core.tlb
+        self._tlb_stats = tlb.stats
+        self._view_sets: List[List[Dict[int, int]]] = []
+        self._view_masks: List[int] = []
+        self._view_stats: List[Any] = []
+        self._page_shifts: List[int] = []
+        for size in _L1_PAGE_SIZES:
+            array = tlb._l1[size]
+            self._view_sets.append(array._sets)
+            self._view_masks.append(array._set_mask)
+            self._view_stats.append(array.stats)
+            self._page_shifts.append(PAGE_SHIFTS[size])
+        # --- live L1 data-cache view ---
+        cache = simulator.hierarchy.l1[core.cpu]
+        self._cache_sets: List[Dict[int, bool]] = cache._sets
+        self._cache_mask: int = cache._set_mask
+        self._cache_hits = cache._hits
+        self._line_shift: int = cache._line_shift
+        # --- shared state + timing constants ---
+        self._pending: List[Any] = simulator.hierarchy._pending_dram_writebacks
+        self._nonmem: int = simulator._nonmem_per_gap
+        # One TLB-probe cycle plus the L1 hit latency (an L1 TLB hit
+        # adds no extra translation latency).
+        self._step: int = 1 + simulator.hierarchy._l1_latency
+        # --- irregular TLB-hit path handles (single-core drive loop) ---
+        self._cpu: int = core.cpu
+        self._tlb_lookup = tlb.lookup
+        self._access = simulator.hierarchy.access
+        self._fill_from_memory = simulator.hierarchy.fill_from_memory
+        self._drain_writebacks = simulator.hierarchy.drain_writebacks
+        self._submit_and_wait = simulator.controller.submit_and_wait
+        self._submit_writeback = simulator.controller.submit_writeback
+        self._record_llc_fill = simulator.energy.record_llc_fill
+        # --- lazily-created counter handles (never pre-created: an
+        # untouched counter must not appear in the exported stats) ---
+        self._counter_memo: Dict[Tuple[int, str], Any] = {}
+        self._l1_hits_counter: Optional[Any] = None
+        # --- SoA mirrors of the current chunk ---
+        self._base = 0
+        self._end = 0
+        self._vpns: Tuple[List[int], List[int], List[int]] = ([], [], [])
+        self._offs: Tuple[List[int], List[int], List[int]] = ([], [], [])
+        self._gaps: List[int] = []
+        self._writes: List[bool] = []
+
+    # ------------------------------------------------------------------
+    # SoA chunk build
+    # ------------------------------------------------------------------
+
+    def _load_chunk(self, pos: int) -> None:
+        """Mirror ``records[pos : pos+batch]`` into struct-of-arrays form."""
+        records = self._records
+        end = min(pos + self._batch, len(records))
+        vaddrs: List[int] = []
+        gaps: List[int] = []
+        writes: List[bool] = []
+        for index in range(pos, end):
+            record = records[index]
+            vaddrs.append(record.vaddr)
+            gaps.append(record.gap)
+            writes.append(record.is_write)
+        line_shift = self._line_shift
+        np = self._np
+        if np is not None:
+            v = np.asarray(vaddrs, dtype=np.int64)
+            vpns = tuple((v >> shift).tolist() for shift in self._page_shifts)
+            offs = tuple(
+                ((v & ((1 << shift) - 1)) >> line_shift).tolist()
+                for shift in self._page_shifts
+            )
+        else:
+            vpns = tuple(
+                [vaddr >> shift for vaddr in vaddrs] for shift in self._page_shifts
+            )
+            offs = tuple(
+                [(vaddr & ((1 << shift) - 1)) >> line_shift for vaddr in vaddrs]
+                for shift in self._page_shifts
+            )
+        self._vpns = vpns  # type: ignore[assignment]
+        self._offs = offs  # type: ignore[assignment]
+        self._gaps = gaps
+        self._writes = writes
+        self._base = pos
+        self._end = end
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def consume_regular(self, bound: int) -> int:
+        """Claim the maximal run of regular records below *bound*.
+
+        Advances ``core.position``/``core.time`` and applies the run's
+        effects; returns the number of records claimed (0 when the head
+        record is irregular, the bound is reached, or pending
+        writebacks make even L1 hits effectful).  Never blocks, so the
+        multicore event interleave can call it between engine records.
+        """
+        core = self._core
+        pos: int = core.position
+        if pos >= bound or self._pending:
+            return 0
+        if not self._base <= pos < self._end:
+            self._load_chunk(pos)
+        stop = bound if bound < self._end else self._end
+        count, gap_total, c0, c1, c2 = self._claim_run(pos, stop)
+        if count == 0:
+            return 0
+        core.time += self._nonmem * gap_total + count * self._step
+        core.position = pos + count
+        self._bump_counters(count, c0, c1, c2)
+        return count
+
+    def drive(self, bound: int) -> int:
+        """Single-core driver loop: advance the core to *bound* or to
+        the next full TLB miss, whichever comes first.
+
+        Regular runs are claimed in bulk; irregular TLB-hit records
+        (any cache outcome, including DRAM) are processed inline with
+        exactly the scalar fast path's operations in the same order.
+        When the head record misses the whole TLB the method returns
+        with the probe already performed (calling ``tlb.lookup`` again
+        would perturb LRU state and hit counters) -- the caller drains
+        that one record through the event engine, mirroring
+        ``_run_single``'s fallback.
+
+        Returns the number of records processed.  Unlike
+        :meth:`consume_regular` this loop may block on DRAM, so it is
+        only used by the single-core driver.
+        """
+        core = self._core
+        pos: int = core.position
+        if pos >= bound:
+            return 0
+        records = self._records
+        pending = self._pending
+        nonmem = self._nonmem
+        tlb_lookup = self._tlb_lookup
+        access = self._access
+        fill_from_memory = self._fill_from_memory
+        drain_writebacks = self._drain_writebacks
+        submit_and_wait = self._submit_and_wait
+        submit_writeback = self._submit_writeback
+        record_llc_fill = self._record_llc_fill
+        offset_masks = PAGE_OFFSET_MASKS
+        cpu = self._cpu
+        runtime = core.runtime
+        dram_refs = core.dram_refs
+        claim_run = self._claim_run
+        bump_counters = self._bump_counters
+        step = self._step
+        base = self._base
+        end = self._end
+        start = pos
+        time: int = core.time
+        while pos < bound:
+            if not base <= pos < end:
+                self._load_chunk(pos)
+                base = self._base
+                end = self._end
+            stop = bound if bound < end else end
+            # --- claim the maximal regular run at the head ---
+            if not pending:
+                count, gap_total, c0, c1, c2 = claim_run(pos, stop)
+                if count:
+                    time += nonmem * gap_total + count * step
+                    pos += count
+                    bump_counters(count, c0, c1, c2)
+                    if pos >= stop:
+                        # Chunk or bound boundary, not an irregular head.
+                        continue
+            # --- irregular head: the scalar fast path, inlined ---
+            record = records[pos]
+            vaddr = record.vaddr
+            head_time = time + record.gap * nonmem
+            hit = tlb_lookup(vaddr)
+            if hit is None:
+                # Full TLB miss: hand back to the event engine with the
+                # probe done (LRU/counters already updated).
+                break
+            frame, page_size, extra_latency = hit
+            head_time += 1 + extra_latency
+            paddr = frame | (vaddr & offset_masks[page_size])
+            result = access(cpu, paddr, record.is_write)
+            head_time += result.latency
+            if result.needs_dram:
+                request = MemoryRequest(
+                    paddr & LINE_MASK,
+                    KIND_DEMAND,
+                    cpu=cpu,
+                    is_write=record.is_write,
+                    enqueue_time=head_time,
+                )
+                finish = submit_and_wait(request, head_time)
+                runtime.dram_other_cycles += finish - head_time
+                dram_refs.other += 1
+                fill_from_memory(cpu, paddr, record.is_write)
+                record_llc_fill()
+                head_time = finish
+            for victim in drain_writebacks():
+                submit_writeback(victim.paddr, cpu, head_time)
+                dram_refs.writeback += 1
+            time = head_time
+            pos += 1
+        core.time = time
+        core.position = pos
+        return pos - start
+
+    # ------------------------------------------------------------------
+    # Run claim + counter application
+    # ------------------------------------------------------------------
+
+    def _claim_run(self, pos: int, stop: int) -> Tuple[int, int, int, int, int]:
+        """Classify-and-apply the regular run starting at *pos*.
+
+        For each record that is an L1 TLB hit *and* an L1 cache hit,
+        perform the record's dict permutations in order (LRU refresh of
+        the TLB entry; LRU refresh + dirty OR of the cache line) --
+        exactly the operations ``SetAssociativeTlb.lookup`` and
+        ``Cache.lookup`` perform, minus the counter traffic, which the
+        caller applies per-run from the returned level counts.
+
+        Returns ``(count, gap_total, c0, c1, c2)`` where ``cN`` counts
+        hits in the Nth probed TLB array.
+        """
+        base = self._base
+        j = pos - base
+        vpns4, vpns2, vpns1 = self._vpns
+        offs4, offs2, offs1 = self._offs
+        sets4, sets2, sets1 = self._view_sets
+        mask4, mask2, mask1 = self._view_masks
+        cache_sets = self._cache_sets
+        cache_mask = self._cache_mask
+        line_shift = self._line_shift
+        gaps = self._gaps
+        writes = self._writes
+        j_stop = stop - base
+        j_start = j
+        gap_total = 0
+        c1 = 0
+        c2 = 0
+        while j < j_stop:
+            vpn = vpns4[j]
+            entries = sets4[vpn & mask4]
+            frame = entries.get(vpn)
+            if frame is not None:
+                level = 0
+                line = (frame >> line_shift) + offs4[j]
+            else:
+                vpn = vpns2[j]
+                entries = sets2[vpn & mask2]
+                frame = entries.get(vpn)
+                if frame is not None:
+                    level = 1
+                    line = (frame >> line_shift) + offs2[j]
+                else:
+                    vpn = vpns1[j]
+                    entries = sets1[vpn & mask1]
+                    frame = entries.get(vpn)
+                    if frame is None:
+                        break
+                    level = 2
+                    line = (frame >> line_shift) + offs1[j]
+            centries = cache_sets[line & cache_mask]
+            dirty = centries.pop(line, None)
+            if dirty is None:
+                # Cache miss: the probes above were effect-free (`get`
+                # and a no-op `pop` default), so the record replays
+                # cleanly through the scalar path -- which also applies
+                # the TLB refresh and counters this loop skipped.
+                break
+            centries[line] = dirty or writes[j]
+            entries[vpn] = entries.pop(vpn)
+            if level:
+                if level == 1:
+                    c1 += 1
+                else:
+                    c2 += 1
+            gap_total += gaps[j]
+            j += 1
+        count = j - j_start
+        return count, gap_total, count - c1 - c2, c1, c2
+
+    def _bump_counters(self, count: int, c0: int, c1: int, c2: int) -> None:
+        """Apply one run's counter sums (lazily binding the counters)."""
+        if c0:
+            self._counter(0, "hits").add(c0)
+        if c1 or c2:
+            self._counter(0, "misses").add(c1 + c2)
+        if c1:
+            self._counter(1, "hits").add(c1)
+        if c2:
+            self._counter(1, "misses").add(c2)
+            self._counter(2, "hits").add(c2)
+        l1_hits = self._l1_hits_counter
+        if l1_hits is None:
+            l1_hits = self._tlb_stats.counter("l1_hits")
+            self._l1_hits_counter = l1_hits
+        l1_hits.add(count)
+        self._cache_hits.value += count
+
+    def _counter(self, level: int, name: str) -> Any:
+        memo = self._counter_memo
+        key = (level, name)
+        counter = memo.get(key)
+        if counter is None:
+            counter = self._view_stats[level].counter(name)
+            memo[key] = counter
+        return counter

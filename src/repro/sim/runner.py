@@ -17,9 +17,14 @@ def _resolve_trace(workload, length, seed):
     return make_trace(workload, length=length, seed=seed)
 
 
-def _can_use_executor(executor, workload, max_records, tracer, progress, timeline=None):
+def _can_use_executor(
+    executor, workload, max_records, tracer, progress, timeline=None, kernel=None
+):
     """Executor cells are whole named-workload runs with no live hooks;
-    anything else falls back to the direct path."""
+    anything else falls back to the direct path.  A kernel request only
+    routes through the executor when it matches the executor's own
+    kernel (the cache is kernel-agnostic -- both kernels are
+    bit-identical -- but the manifest must record the right producer)."""
     return (
         executor is not None
         and isinstance(workload, str)
@@ -27,6 +32,7 @@ def _can_use_executor(executor, workload, max_records, tracer, progress, timelin
         and tracer is None
         and progress is None
         and timeline is None
+        and (kernel is None or kernel == getattr(executor, "kernel", "scalar"))
     )
 
 
@@ -41,6 +47,7 @@ def run_workload(
     executor=None,
     check_invariants=None,
     timeline=None,
+    kernel=None,
 ):
     """Simulate one workload (a name or a prebuilt Trace) on *config*.
 
@@ -58,7 +65,9 @@ def run_workload(
     """
     if config is None:
         config = default_system_config()
-    if _can_use_executor(executor, workload, max_records, tracer, progress, timeline):
+    if _can_use_executor(
+        executor, workload, max_records, tracer, progress, timeline, kernel
+    ):
         from repro.exec import SimCell
 
         return executor.run_cell(SimCell(workload, config, length, seed))
@@ -71,13 +80,14 @@ def run_workload(
         progress=progress,
         check_invariants=check_invariants,
         timeline=timeline,
+        kernel=kernel,
     )
     return simulator.run(max_records)
 
 
 def run_baseline_and_tempo(
     workload, config=None, length=20000, seed=0, max_records=None, progress=None,
-    executor=None, check_invariants=None,
+    executor=None, check_invariants=None, kernel=None,
 ):
     """Run the same trace with TEMPO off and on.
 
@@ -87,7 +97,7 @@ def run_baseline_and_tempo(
     """
     if config is None:
         config = default_system_config()
-    if _can_use_executor(executor, workload, max_records, None, progress):
+    if _can_use_executor(executor, workload, max_records, None, progress, None, kernel):
         from repro.exec import SimCell
 
         baseline, tempo = executor.run_cells(
@@ -100,11 +110,11 @@ def run_baseline_and_tempo(
     trace = _resolve_trace(workload, length, seed)
     baseline = SystemSimulator(
         config.with_tempo(False), [trace], seed=seed, progress=progress,
-        check_invariants=check_invariants,
+        check_invariants=check_invariants, kernel=kernel,
     ).run(max_records)
     tempo = SystemSimulator(
         config.with_tempo(True), [trace], seed=seed, progress=progress,
-        check_invariants=check_invariants,
+        check_invariants=check_invariants, kernel=kernel,
     ).run(max_records)
     return baseline, tempo
 

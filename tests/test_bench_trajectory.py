@@ -60,10 +60,31 @@ def test_history_is_capped(tmp_path):
     assert trajectory[-1]["package_version"] == "1.0.0"  # newest survives the cap
 
 
+def test_schema2_history_compacts_without_batch_fields():
+    """Pre-batch-kernel artifacts (schema 2) still compact cleanly --
+    they just have no batch_speedup bounds."""
+    entry = _trajectory_entry(payload("0.9.0"))
+    assert "min_batch_speedup" not in entry
+    assert "max_batch_speedup" not in entry
+
+
+def test_schema3_history_compacts_batch_speedups():
+    data = payload("1.1.0")
+    data["schema"] = 3
+    for name, ratio in (("gups", 0.9), ("stream", 1.2)):
+        data["workloads"][name]["batch_speedup"] = ratio
+    entry = _trajectory_entry(data)
+    assert entry["min_batch_speedup"] == 0.9
+    assert entry["max_batch_speedup"] == 1.2
+
+
 def test_committed_artifact_has_a_trajectory():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     with open(os.path.join(root, "BENCH_perf.json")) as stream:
         committed = json.load(stream)
-    assert committed["schema"] == 2
+    assert committed["schema"] == 3
     assert isinstance(committed["trajectory"], list)
     assert committed["trajectory"], "committed BENCH_perf.json has an empty trajectory"
+    for name, row in committed["workloads"].items():
+        assert set(row["kernels"]) == {"scalar", "batch"}, name
+        assert row["batch_speedup"] is not None, name

@@ -1,0 +1,214 @@
+"""Tests for the struct-of-arrays batch kernel (``--kernel batch``).
+
+The contract under test is absolute: the batch kernel must be
+bit-identical to the scalar engine on every workload, at every batch
+size, across warmup boundaries, on multiple cores, and with the
+pure-Python mirror build -- the only stat allowed to differ is the
+``manifest.kernel`` tag itself (and wall-clock timings).
+"""
+
+import pytest
+
+import repro.sim.kernel as kernel_mod
+from repro.common.config import default_system_config
+from repro.common.errors import ConfigError
+from repro.exec import ExperimentExecutor, SimCell
+from repro.exec.resilience import ResiliencePolicy, needs_isolation
+from repro.sim.kernel import BatchKernel
+from repro.sim.system import SystemSimulator
+from repro.workloads.registry import (
+    BIGDATA_WORKLOADS,
+    EXTENSION_WORKLOADS,
+    SMALL_WORKLOADS,
+    make_trace,
+)
+
+ALL_WORKLOADS = [
+    w.name for w in BIGDATA_WORKLOADS + SMALL_WORKLOADS + EXTENSION_WORKLOADS
+]
+
+
+def _stats(workload, kernel=None, length=500, batch_size=None, warmup=None,
+           cores=1, check_invariants=None, config=None):
+    """Run and return the comparable stats (kernel tag + timings stripped)."""
+    if config is None:
+        config = default_system_config()
+    traces = [
+        make_trace(workload, length=length, seed=seed) for seed in range(cores)
+    ]
+    kwargs = {"seed": 0, "kernel": kernel, "check_invariants": check_invariants}
+    if batch_size is not None:
+        kwargs["batch_size"] = batch_size
+    result = SystemSimulator(config, traces, **kwargs).run(warmup=warmup)
+    return {
+        key: value
+        for key, value in result.stats.items()
+        if not key.startswith("manifest.timing") and key != "manifest.kernel"
+    }
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_batch_matches_scalar_on_every_workload(workload):
+    assert _stats(workload, "batch") == _stats(workload, "scalar")
+
+
+def test_batch_size_one_matches_scalar():
+    assert _stats("bzip2_small", "batch", batch_size=1) == _stats(
+        "bzip2_small", "scalar"
+    )
+
+
+def test_batch_size_larger_than_trace_matches_scalar():
+    assert _stats("bzip2_small", "batch", batch_size=10**6) == _stats(
+        "bzip2_small", "scalar"
+    )
+
+
+def test_warmup_boundary_mid_batch_matches_scalar():
+    # warmup=337 with batch_size=256 puts the measurement reset inside
+    # the second chunk; the kernel must stop the run exactly there.
+    assert _stats(
+        "bzip2_small", "batch", length=800, warmup=337, batch_size=256
+    ) == _stats("bzip2_small", "scalar", length=800, warmup=337)
+
+
+@pytest.mark.parametrize("cores", [2, 3])
+def test_multicore_interleave_matches_scalar(cores):
+    assert _stats("xsbench", "batch", cores=cores) == _stats(
+        "xsbench", "scalar", cores=cores
+    )
+
+
+def test_multicore_tail_drain_matches_scalar():
+    """Cores with different trace lengths: the longer core drains its
+    tail after the shorter retires, exercising the per-core bound."""
+    config = default_system_config()
+
+    def run(kernel):
+        traces = [
+            make_trace("btree", length=700, seed=0),
+            make_trace("btree", length=300, seed=1),
+        ]
+        result = SystemSimulator(config, traces, seed=0, kernel=kernel).run()
+        return {
+            key: value
+            for key, value in result.stats.items()
+            if not key.startswith("manifest.timing") and key != "manifest.kernel"
+        }
+
+    assert run("batch") == run("scalar")
+
+
+def test_check_invariants_full_with_batch_matches_scalar():
+    # Audit hooks need per-record visibility, so batch runs fall back
+    # to the scalar path -- and must stay bit-identical doing it.
+    assert _stats("btree", "batch", check_invariants="full") == _stats(
+        "btree", "scalar", check_invariants="full"
+    )
+
+
+def test_pure_python_fallback_matches_scalar(monkeypatch):
+    monkeypatch.setattr(kernel_mod, "_np", None)
+    assert _stats("xsbench", "batch") == _stats("xsbench", "scalar")
+
+
+def test_fallback_mirrors_equal_numpy_mirrors(monkeypatch):
+    """The two chunk builds must produce identical SoA mirrors."""
+    if kernel_mod._np is None:
+        pytest.skip("numpy not available; only the fallback build exists")
+    config = default_system_config()
+
+    def mirrors():
+        trace = make_trace("btree", length=300, seed=3)
+        simulator = SystemSimulator(config, [trace], seed=0, kernel="batch")
+        kern = BatchKernel(simulator, simulator.cores[0], batch_size=128)
+        kern._load_chunk(0)
+        return kern._vpns, kern._offs, kern._gaps, kern._writes
+
+    with_numpy = mirrors()
+    monkeypatch.setattr(kernel_mod, "_np", None)
+    without_numpy = mirrors()
+    assert with_numpy == without_numpy
+
+
+def test_manifest_records_kernel():
+    config = default_system_config()
+    trace = make_trace("btree", length=300, seed=0)
+    result = SystemSimulator(config, [trace], seed=0, kernel="batch").run()
+    assert result.stats["manifest.kernel"] == "batch"
+    trace = make_trace("btree", length=300, seed=0)
+    result = SystemSimulator(config, [trace], seed=0).run()
+    assert result.stats["manifest.kernel"] == "scalar"
+
+
+def test_invalid_kernel_rejected():
+    config = default_system_config()
+    trace = make_trace("btree", length=100, seed=0)
+    with pytest.raises(ConfigError):
+        SystemSimulator(config, [trace], kernel="simd")
+
+
+def test_invalid_batch_size_rejected():
+    config = default_system_config()
+    trace = make_trace("btree", length=100, seed=0)
+    with pytest.raises(ConfigError):
+        SystemSimulator(config, [trace], kernel="batch", batch_size=0)
+
+
+def test_executor_threads_kernel_into_cells():
+    config = default_system_config()
+    batch = ExperimentExecutor(kernel="batch").run_cell(
+        SimCell("btree", config, 400)
+    )
+    scalar = ExperimentExecutor().run_cell(SimCell("btree", config, 400))
+    assert batch.stats["manifest.kernel"] == "batch"
+    assert scalar.stats["manifest.kernel"] == "scalar"
+
+    def comparable(result):
+        return {
+            key: value
+            for key, value in result.stats.items()
+            if not key.startswith("manifest.timing") and key != "manifest.kernel"
+        }
+
+    assert comparable(batch) == comparable(scalar)
+
+
+def test_needs_isolation_cost_model():
+    """Tiny batches run inline (spawn overhead dominates); big ones
+    isolate.  Kill switches always force isolation."""
+    config = default_system_config()
+    policy = ResiliencePolicy()
+    small = {
+        str(index): SimCell("btree", config, 800, seed=index)
+        for index in range(4)
+    }
+    big = {
+        str(index): SimCell("btree", config, 200000, seed=index)
+        for index in range(4)
+    }
+    assert not needs_isolation(4, policy, None, pending=small)
+    assert needs_isolation(4, policy, None, pending=big)
+    # jobs=1 never isolates; a cell timeout always does.
+    assert not needs_isolation(1, policy, None, pending=big)
+    timeout_policy = ResiliencePolicy(cell_timeout=5.0)
+    assert needs_isolation(1, timeout_policy, None, pending=small)
+
+
+def test_cli_kernel_flag():
+    import io
+
+    from repro.cli import main
+
+    out = io.StringIO()
+    assert main(["run", "btree", "--length", "300", "--kernel", "batch"],
+                out=out) == 0
+    with pytest.raises(SystemExit):
+        main(["run", "btree", "--length", "300", "--kernel", "simd"],
+             out=io.StringIO())
+
+
+def test_numpy_available_reports_module_state(monkeypatch):
+    assert kernel_mod.numpy_available() == (kernel_mod._np is not None)
+    monkeypatch.setattr(kernel_mod, "_np", None)
+    assert not kernel_mod.numpy_available()

@@ -3,10 +3,12 @@
 
 Two measurements, written to ``BENCH_perf.json`` at the repo root:
 
-* **records/sec per workload** -- one ``SystemSimulator.run()`` per
-  registered workload under the default config, trace generation
-  excluded, so the number isolates the simulator hot loop (the fast
-  path in :mod:`repro.sim.system`).
+* **records/sec per workload and kernel** -- one
+  ``SystemSimulator.run()`` per registered workload *per kernel*
+  (``scalar`` and ``batch``) under the default config, trace
+  generation excluded, so the numbers isolate the simulator hot loop
+  and the ``batch_speedup`` ratio isolates the batch kernel's effect
+  (:mod:`repro.sim.kernel`).
 * **wall-clock per figure** -- each benched figure driver run three
   ways: serial with no cache (the pre-executor behaviour), parallel
   (``--jobs``) into a cold cache, and serially against that now-warm
@@ -44,19 +46,38 @@ BENCH_FIGURES = {
 }
 
 
+#: Kernels benched per workload (the default/reference kernel first --
+#: its rate doubles as the row's top-level schema-2 compatibility
+#: fields so old trajectories keep compacting).
+BENCH_KERNELS = ("scalar", "batch")
+
+
 def bench_workloads(names, length, seed=0):
-    """records/sec for each workload, trace generation excluded."""
+    """records/sec for each workload and kernel, trace generation
+    excluded.  ``batch_speedup`` is scalar seconds over batch seconds."""
     config = default_system_config()
     rows = {}
     for name in names:
-        trace = make_trace(name, length=length, seed=seed)
-        started = time.perf_counter()
-        SystemSimulator(config, [trace], seed=seed).run()
-        elapsed = time.perf_counter() - started
+        records = None
+        kernels = {}
+        for kernel in BENCH_KERNELS:
+            trace = make_trace(name, length=length, seed=seed)
+            records = len(trace)
+            started = time.perf_counter()
+            SystemSimulator(config, [trace], seed=seed, kernel=kernel).run()
+            elapsed = time.perf_counter() - started
+            kernels[kernel] = {
+                "seconds": round(elapsed, 4),
+                "records_per_sec": round(records / elapsed) if elapsed else None,
+            }
+        scalar_s = kernels["scalar"]["seconds"]
+        batch_s = kernels["batch"]["seconds"]
         rows[name] = {
-            "records": len(trace),
-            "seconds": round(elapsed, 4),
-            "records_per_sec": round(len(trace) / elapsed) if elapsed else None,
+            "records": records,
+            "kernels": kernels,
+            "batch_speedup": round(scalar_s / batch_s, 2) if batch_s else None,
+            "seconds": kernels["scalar"]["seconds"],
+            "records_per_sec": kernels["scalar"]["records_per_sec"],
         }
     return rows
 
@@ -110,6 +131,14 @@ def _trajectory_entry(payload):
         "min_records_per_sec": rates[0] if rates else None,
         "max_records_per_sec": rates[-1] if rates else None,
     }
+    speedups = sorted(
+        row["batch_speedup"]
+        for row in workloads.values()
+        if row.get("batch_speedup")
+    )
+    if speedups:
+        entry["min_batch_speedup"] = speedups[0]
+        entry["max_batch_speedup"] = speedups[-1]
     figures = payload.get("figures", {})
     if figures:
         entry["warm_cache_speedups"] = {
@@ -169,10 +198,19 @@ def main(argv=None):
                 )
             figures[name] = BENCH_FIGURES[name]
 
-    print("benching workloads (length=%d) ..." % args.length)
+    print("benching workloads (length=%d, kernels: %s) ..."
+          % (args.length, "/".join(BENCH_KERNELS)))
     workloads = bench_workloads(workload_names(), args.length)
     for name, row in workloads.items():
-        print("  %-20s %8s rec/s" % (name, row["records_per_sec"]))
+        print(
+            "  %-20s %8s rec/s scalar, %8s rec/s batch (%.2fx)"
+            % (
+                name,
+                row["kernels"]["scalar"]["records_per_sec"],
+                row["kernels"]["batch"]["records_per_sec"],
+                row["batch_speedup"],
+            )
+        )
 
     cpu_count = multiprocessing.cpu_count()
     figure_rows = {}
@@ -206,7 +244,7 @@ def main(argv=None):
 
     trajectory = load_trajectory(args.output)
     payload = {
-        "schema": 2,
+        "schema": 3,
         "trajectory": trajectory,
         "package_version": __version__,
         "python": platform.python_version(),
