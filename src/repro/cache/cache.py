@@ -33,7 +33,10 @@ class Cache:
 
     def __init__(self, config, name="cache", rng=None):
         if not isinstance(config, CacheConfig):
-            raise ConfigError("config must be a CacheConfig, got %s" % type(config).__name__)
+            raise ConfigError(
+                "config must be a CacheConfig, got %s" % type(config).__name__,
+                context={"cache": name, "config_type": type(config).__name__},
+            )
         config.validate()
         self.config = config
         self.name = name

@@ -74,7 +74,10 @@ def radix_index(vaddr: int, level: int) -> int:
     lowest 9 bits above the page offset (20:12).
     """
     if level not in (1, 2, 3, 4):
-        raise ConfigError("page-table level must be 1..4, got %r" % (level,))
+        raise ConfigError(
+            "page-table level must be 1..4, got %r" % (level,),
+            context={"level": level, "vaddr": vaddr},
+        )
     shift = 12 + RADIX_BITS * (level - 1)
     return (canonical(vaddr) >> shift) & _RADIX_MASK
 
@@ -89,7 +92,10 @@ def pte_address(table_base_paddr: int, index: int) -> int:
     """Physical address of entry *index* within the table page at
     *table_base_paddr* -- the concatenation the walker performs."""
     if not 0 <= index < PT_ENTRIES:
-        raise ConfigError("radix index out of range: %r" % (index,))
+        raise ConfigError(
+            "radix index out of range: %r" % (index,),
+            context={"index": index, "table_base_paddr": table_base_paddr},
+        )
     return table_base_paddr + index * PTE_BYTES
 
 

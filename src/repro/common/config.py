@@ -19,9 +19,9 @@ from repro.common.constants import CACHE_LINE_BYTES, PAGE_SIZE_4K
 from repro.common.errors import ConfigError
 
 
-def _require(condition: bool, message: str) -> None:
+def _require(condition: bool, message: str, **context: Any) -> None:
     if not condition:
-        raise ConfigError(message)
+        raise ConfigError(message, context=context)
 
 
 def _power_of_two(value: int) -> bool:
@@ -287,7 +287,13 @@ class TempoConfig:
         _require(self.wait_cycles >= 0, "wait cycles must be >= 0")
         _require(self.grace_period_cycles >= 0, "grace period must be >= 0")
         if self.llc_prefetch and not self.row_prefetch:
-            raise ConfigError("LLC prefetch requires the row prefetch step (data moves array -> row buffer -> LLC)")
+            raise ConfigError(
+                "LLC prefetch requires the row prefetch step (data moves array -> row buffer -> LLC)",
+                context={
+                    "llc_prefetch": self.llc_prefetch,
+                    "row_prefetch": self.row_prefetch,
+                },
+            )
 
 
 @dataclass
@@ -330,7 +336,13 @@ class VmConfig:
         _require(_power_of_two(self.phys_mem_bytes), "physical memory must be a power of two")
         _require(0.0 <= self.memhog_fraction < 1.0, "memhog fraction must be in [0, 1)")
         if self.hugetlbfs_2m and self.hugetlbfs_1g:
-            raise ConfigError("choose one hugetlbfs page size")
+            raise ConfigError(
+                "choose one hugetlbfs page size",
+                context={
+                    "hugetlbfs_2m": self.hugetlbfs_2m,
+                    "hugetlbfs_1g": self.hugetlbfs_1g,
+                },
+            )
 
 
 @dataclass

@@ -48,7 +48,10 @@ class AddressMap:
     def __init__(self, dram_config):
         config = dram_config
         if config.row_bytes & (config.row_bytes - 1):
-            raise ConfigError("row size must be a power of two")
+            raise ConfigError(
+                "row size must be a power of two",
+                context={"row_bytes": config.row_bytes},
+            )
         self.config = config
         self.row_shift = config.row_bytes.bit_length() - 1
         self.channel_bits = config.channels.bit_length() - 1

@@ -85,7 +85,10 @@ class AdaptiveRowPolicy:
 
     def __init__(self, config):
         if config is None:
-            raise ConfigError("AdaptiveRowPolicy needs a RowPolicyConfig")
+            raise ConfigError(
+                "AdaptiveRowPolicy needs a RowPolicyConfig",
+                context={"policy": "adaptive"},
+            )
         self.config = config
         self._cache = _PredictionCache(
             config.predictor_sets, config.predictor_ways, config.predictor_initial_window
@@ -124,4 +127,7 @@ def make_row_policy(row_policy_config):
         return ClosedRowPolicy(row_policy_config)
     if policy == "adaptive":
         return AdaptiveRowPolicy(row_policy_config)
-    raise ConfigError("unknown row policy %r" % (policy,))
+    raise ConfigError(
+        "unknown row policy %r" % (policy,),
+        context={"policy": policy, "known": ["open", "closed", "adaptive"]},
+    )

@@ -17,12 +17,16 @@ sharing a cache directory -- safe: last rename wins and every version is
 identical by construction.
 """
 
+from __future__ import annotations
+
 import enum
 import json
 import os
 import tempfile
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.exec.cells import trace_key
+from repro.sim.trace import Trace
 from repro.sim.traceio import load_trace, save_trace
 
 
@@ -41,7 +45,7 @@ class QuarantineReason(str, enum.Enum):
     INVARIANT_VIOLATION = "invariant-violation"
 
 
-def default_cache_dir():
+def default_cache_dir() -> str:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-tempo``."""
     configured = os.environ.get("REPRO_CACHE_DIR")
     if configured:
@@ -49,7 +53,7 @@ def default_cache_dir():
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-tempo")
 
 
-def _atomic_write(path, write_fn):
+def _atomic_write(path: str, write_fn: Callable[[str], object]) -> None:
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
     fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -66,22 +70,22 @@ def _atomic_write(path, write_fn):
 class ResultCache:
     """Persistent result + trace store, addressed by content hash."""
 
-    def __init__(self, root=None):
+    def __init__(self, root: Optional[str] = None) -> None:
         self.root = root if root is not None else default_cache_dir()
 
-    def _result_path(self, key):
+    def _result_path(self, key: str) -> str:
         return os.path.join(self.root, "results", key[:2], key + ".json")
 
-    def _trace_path(self, key):
+    def _trace_path(self, key: str) -> str:
         return os.path.join(self.root, "traces", key[:2], key + ".trace")
 
     # -- results -------------------------------------------------------
 
-    def get(self, key):
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload dict for *key*, or ``None``."""
         return self.get_entry(key)[0]
 
-    def get_entry(self, key):
+    def get_entry(self, key: str) -> Tuple[Optional[Dict[str, Any]], str]:
         """Return ``(payload, status)`` for *key*.
 
         ``status`` is ``"hit"`` (payload is a dict), ``"miss"`` (no
@@ -102,12 +106,14 @@ class ResultCache:
             return None, "corrupt"
         return payload, "hit"
 
-    def result_path(self, key):
+    def result_path(self, key: str) -> str:
         """Where *key*'s result entry lives (used by the fault harness
         and tests to garble entries in place)."""
         return self._result_path(key)
 
-    def quarantine(self, key, reason):
+    def quarantine(
+        self, key: str, reason: Union[QuarantineReason, str]
+    ) -> Optional[str]:
         """Move *key*'s result entry aside -- never delete evidence.
 
         The entry lands in ``quarantine/<aa>/`` with *reason* (a
@@ -132,7 +138,12 @@ class ResultCache:
         os.replace(path, dest)
         return dest
 
-    def quarantine_record(self, key, reason, evidence):
+    def quarantine_record(
+        self,
+        key: str,
+        reason: Union[QuarantineReason, str],
+        evidence: Dict[str, Any],
+    ) -> str:
         """Write a quarantine *evidence* record for a cell that has no
         cache entry to move -- e.g. an invariant violation caught before
         the result was ever cached.  Returns the evidence path.
@@ -141,17 +152,17 @@ class ResultCache:
         dest_dir = os.path.join(self.root, "quarantine", key[:2])
         dest = os.path.join(dest_dir, "%s.%s.evidence.json" % (key, label))
 
-        def write(temp_path):
+        def write(temp_path: str) -> None:
             with open(temp_path, "w") as stream:
                 json.dump(evidence, stream, sort_keys=True, default=repr)
 
         _atomic_write(dest, write)
         return dest
 
-    def put(self, key, payload):
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Persist *payload* (a JSON-able dict) under *key*."""
 
-        def write(temp_path):
+        def write(temp_path: str) -> None:
             with open(temp_path, "w") as stream:
                 json.dump(payload, stream, sort_keys=True)
 
@@ -159,7 +170,7 @@ class ResultCache:
 
     # -- traces --------------------------------------------------------
 
-    def get_trace(self, name, length, seed):
+    def get_trace(self, name: str, length: int, seed: int) -> Optional[Trace]:
         """Load a previously persisted generated trace, or ``None``."""
         path = self._trace_path(trace_key(name, length, seed))
         if not os.path.exists(path):
@@ -169,12 +180,12 @@ class ResultCache:
         except Exception:
             return None
 
-    def put_trace(self, trace, length, seed):
+    def put_trace(self, trace: Trace, length: int, seed: int) -> None:
         """Persist a generated trace for later runs."""
         _atomic_write(
             self._trace_path(trace_key(trace.name, length, seed)),
             lambda temp_path: save_trace(trace, temp_path),
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "ResultCache(%r)" % self.root

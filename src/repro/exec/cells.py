@@ -37,8 +37,10 @@ from repro.common.errors import ConfigError
 from repro.obs.manifest import config_hash
 
 #: Bump when the serialized result payload format changes; old cache
-#: entries become unreachable rather than misread.
-PAYLOAD_SCHEMA = 1
+#: entries become unreachable rather than misread.  Schema 2: the
+#: exported stats namespace grew (scheduler, row-policy, prefetch
+#: engine, frame-allocator, and page-table groups are now registered).
+PAYLOAD_SCHEMA = 2
 
 
 def _package_version() -> str:
@@ -59,9 +61,18 @@ class SimCell:
         else:
             workloads = tuple(workloads)
         if not workloads:
-            raise ConfigError("a cell needs at least one workload")
+            raise ConfigError(
+                "a cell needs at least one workload",
+                context={"length": length, "seed": seed},
+            )
         if not isinstance(config, SystemConfig):
-            raise ConfigError("cell config must be a SystemConfig")
+            raise ConfigError(
+                "cell config must be a SystemConfig",
+                context={
+                    "config_type": type(config).__name__,
+                    "workloads": list(workloads),
+                },
+            )
         # The simulator would adjust num_cores itself; normalizing here
         # keeps the cache key canonical (a 4-core config running one
         # trace is the same run as its 1-core projection).

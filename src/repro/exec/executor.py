@@ -377,7 +377,13 @@ class ExperimentExecutor:
             self.failed_cells.extend(failures)
             self.counters["failed"] += len(failures)
             if not self.resilience.allow_partial:
-                raise CellExecutionError(failures)
+                raise CellExecutionError(
+                    failures,
+                    context={
+                        "failed_keys": [f.key[:12] for f in failures],
+                        "attempts": {f.key[:12]: f.attempts for f in failures},
+                    },
+                )
             for failure in failures:
                 # Degraded stand-in: never memoized or cached, so a
                 # later run retries the cell for real.

@@ -86,7 +86,8 @@ class FaultPlan:
             time.sleep(seconds)
         if self.should_fail(key, attempt):
             raise InjectedFault(
-                "injected fault for cell %s attempt %d" % (key[:12], attempt)
+                "injected fault for cell %s attempt %d" % (key[:12], attempt),
+                context={"cell_key": key[:12], "attempt": attempt},
             )
         if self.should_kill(key, attempt):
             os._exit(KILL_EXIT_CODE)

@@ -91,12 +91,17 @@ class CellExecutionError(ReproError):
     """One or more cells exhausted their retries and ``allow_partial``
     was off."""
 
-    def __init__(self, failures: Sequence["CellFailure"]) -> None:
+    def __init__(
+        self,
+        failures: Sequence["CellFailure"],
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.failures = list(failures)
         names = ", ".join(failure.workloads for failure in self.failures)
         super().__init__(
             "%d cell(s) failed after retries (%s); re-run with --allow-partial "
-            "to degrade instead of aborting" % (len(self.failures), names)
+            "to degrade instead of aborting" % (len(self.failures), names),
+            context,
         )
 
 
@@ -399,7 +404,12 @@ def _check_abort(plan: Optional[FaultPlan], completed: int, total: int) -> None:
     ):
         raise SweepAborted(
             "sweep aborted by fault injection after %d of %d cells"
-            % (completed, total)
+            % (completed, total),
+            context={
+                "completed": completed,
+                "total": total,
+                "abort_after": plan.abort_after,
+            },
         )
 
 

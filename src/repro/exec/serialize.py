@@ -77,7 +77,11 @@ def payload_to_result(payload: Dict[str, Any]) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` from :func:`result_to_payload`."""
     if payload.get("schema") != PAYLOAD_SCHEMA:
         raise SimulationError(
-            "result payload schema %r != %d" % (payload.get("schema"), PAYLOAD_SCHEMA)
+            "result payload schema %r != %d" % (payload.get("schema"), PAYLOAD_SCHEMA),
+            context={
+                "payload_schema": payload.get("schema"),
+                "expected_schema": PAYLOAD_SCHEMA,
+            },
         )
     cores: List[CoreResult] = []
     for entry in payload["cores"]:

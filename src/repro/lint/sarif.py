@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 rendering for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-hosting UIs ingest for inline annotations; CI uploads the
+file as an artifact.  One run object, one rule descriptor per distinct
+rule that fired or is registered, one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from repro.lint.base import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: simlint severity -> SARIF level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.rationale or rule.name},
+        "help": {"text": rule.fixit or ""},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def sarif_payload(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Rule]] = None,
+) -> Dict[str, object]:
+    """The SARIF document as a plain dict (JSON-ready)."""
+    descriptors: List[Dict[str, object]] = []
+    seen = set()
+    for rule in rules or ():
+        if rule.rule_id not in seen:
+            seen.add(rule.rule_id)
+            descriptors.append(_rule_descriptor(rule))
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "level": _LEVELS.get(finding.severity, "warning"),
+                "message": {
+                    "text": "%s [fix: %s]" % (finding.message, finding.fixit)
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/")
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://github.com/repro/tempo"
+                            "/blob/main/docs/static_analysis.md"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    out: TextIO,
+    rules: Optional[Sequence[Rule]] = None,
+) -> None:
+    json.dump(sarif_payload(findings, rules), out, indent=2, sort_keys=True)
+    out.write("\n")

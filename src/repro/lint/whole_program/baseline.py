@@ -1,0 +1,142 @@
+"""Staged-adoption baseline for whole-program lint findings.
+
+A baseline file records *known* findings so a tree can adopt a new rule
+before every violation is fixed: baselined findings are filtered from
+the report, anything new still fails.  The goal state -- and the state
+this repo ships in -- is an **empty** baseline; CI asserts that.
+
+Format (JSON, stable ordering so diffs are reviewable)::
+
+    {
+      "version": 1,
+      "tool": "simlint",
+      "entries": [
+        {"rule": "SL013", "path": "src/repro/x.py",
+         "fingerprint": "9f2a...", "message": "..."}
+      ]
+    }
+
+The fingerprint is content-addressed (rule | path | message), not
+line-addressed, so unrelated edits above a baselined finding do not
+invalidate it, while any change to the finding itself does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.lint.base import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """An unreadable or malformed baseline file.
+
+    The CLI maps this to exit code 2 (usage error) with the message --
+    a broken baseline must never silently un-suppress or suppress
+    findings."""
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable content hash of one finding (line numbers excluded)."""
+    payload = "%s|%s|%s" % (finding.rule_id, finding.path, finding.message)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: a set of finding fingerprints."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding_fingerprint(finding) in self.entries
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """``(kept, suppressed_count)`` after removing baselined findings."""
+        kept = [f for f in findings if not self.matches(f)]
+        return kept, len(findings) - len(kept)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding_fingerprint(finding)
+            baseline.entries[fingerprint] = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "fingerprint": fingerprint,
+                "message": finding.message,
+            }
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raise :class:`BaselineError` with an
+        actionable message on any defect."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise BaselineError(
+                "cannot read baseline file %s: %s (pass --write-baseline to "
+                "create one, or drop --baseline)" % (path, exc)
+            ) from exc
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise BaselineError(
+                "baseline file %s is not valid JSON: %s (regenerate it with "
+                "--write-baseline)" % (path, exc)
+            ) from exc
+        if not isinstance(data, dict) or data.get("tool") != "simlint":
+            raise BaselineError(
+                "baseline file %s is not a simlint baseline (expected a JSON "
+                "object with tool='simlint'); regenerate it with "
+                "--write-baseline" % path
+            )
+        if data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                "baseline file %s has unsupported version %r (this simlint "
+                "writes version %d); regenerate it with --write-baseline"
+                % (path, data.get("version"), BASELINE_VERSION)
+            )
+        raw_entries = data.get("entries")
+        if not isinstance(raw_entries, list):
+            raise BaselineError(
+                "baseline file %s: 'entries' must be a list; regenerate it "
+                "with --write-baseline" % path
+            )
+        baseline = cls()
+        for index, entry in enumerate(raw_entries):
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    "baseline file %s: entry %d is missing a 'fingerprint'; "
+                    "regenerate it with --write-baseline" % (path, index)
+                )
+            fingerprint = str(entry["fingerprint"])
+            baseline.entries[fingerprint] = {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "fingerprint": fingerprint,
+                "message": str(entry.get("message", "")),
+            }
+        return baseline
+
+    def dump(self, path: Path) -> None:
+        data: Dict[str, Any] = {
+            "version": BASELINE_VERSION,
+            "tool": "simlint",
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e["rule"], e["path"], e["fingerprint"]),
+            ),
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,78 @@
+"""Content-hash summary cache: warm whole-program runs are incremental.
+
+Summary extraction walks every AST in the project; on a warm run only
+changed files should pay that cost.  The cache is one JSON file mapping
+``path -> {sha, summary}`` where ``sha`` is the SHA-256 of the file
+*content* (not mtime -- content hashing survives checkout churn and
+clock skew).  A schema stamp invalidates every entry whenever the
+summary format itself evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lint.whole_program.summaries import ModuleSummary
+
+#: Bump whenever ModuleSummary's shape changes -- stale-format entries
+#: must re-extract, never deserialize wrong.
+CACHE_SCHEMA = 1
+
+
+def content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Load-mutate-save cache of :class:`ModuleSummary` by content hash."""
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = None
+            if (
+                isinstance(data, dict)
+                and data.get("schema") == CACHE_SCHEMA
+                and isinstance(data.get("entries"), dict)
+            ):
+                self._entries = data["entries"]
+
+    def get(self, path: str, source: str) -> Optional[ModuleSummary]:
+        """The cached summary for *path* iff the content hash matches."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != content_sha(source):
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, path: str, source: str, summary: ModuleSummary) -> None:
+        self._entries[path] = {
+            "sha": content_sha(source),
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist if backed by a file and anything changed."""
+        if self.path is None or not self._dirty:
+            return
+        data = {"schema": CACHE_SCHEMA, "entries": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(data), encoding="utf-8")
+        self._dirty = False

@@ -16,7 +16,13 @@ The tracer is *nullable by convention*: simulator hot paths hold
 ``if tracer is not None`` -- a disabled run pays only that test.
 """
 
+from __future__ import annotations
+
 import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: (name, cpu, begin, end_or_None, tags_or_None).
+Span = Tuple[str, int, int, Optional[int], Optional[Dict[str, Any]]]
 
 
 class EventTracer:
@@ -32,27 +38,40 @@ class EventTracer:
     #: Default cap: ~10 spans per record on a 100k-record run.
     DEFAULT_LIMIT = 1_000_000
 
-    def __init__(self, limit=DEFAULT_LIMIT):
+    def __init__(self, limit: Optional[int] = DEFAULT_LIMIT) -> None:
         #: (name, cpu, begin, end_or_None, tags_or_None) tuples.
-        self.events = []
+        self.events: List[Span] = []
         self.dropped = 0
         self._limit = limit
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.events)
 
-    def span(self, name, cpu, begin, end, tags=None):
+    def span(
+        self,
+        name: str,
+        cpu: int,
+        begin: int,
+        end: Optional[int],
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Record a complete span ``[begin, end]`` (cycles) on *cpu*."""
         if self._limit is not None and len(self.events) >= self._limit:
             self.dropped += 1
             return
         self.events.append((name, cpu, begin, end, tags))
 
-    def instant(self, name, cpu, ts, tags=None):
+    def instant(
+        self,
+        name: str,
+        cpu: int,
+        ts: int,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Record a zero-duration marker at *ts*."""
         self.span(name, cpu, ts, None, tags)
 
-    def clear(self):
+    def clear(self) -> None:
         self.events = []
         self.dropped = 0
 
@@ -60,16 +79,16 @@ class EventTracer:
     # Export
     # ------------------------------------------------------------------
 
-    def chrome_trace(self):
+    def chrome_trace(self) -> List[Dict[str, Any]]:
         """Return the events as a Chrome trace-event list.
 
         Complete spans become ``ph="X"`` events with ``ts``/``dur``;
         instants become ``ph="i"``.  One cycle is rendered as one
         microsecond so the timeline zoom feels natural.
         """
-        out = []
+        out: List[Dict[str, Any]] = []
         for name, cpu, begin, end, tags in self.events:
-            event = {
+            event: Dict[str, Any] = {
                 "name": name,
                 "pid": 0,
                 "tid": cpu,
@@ -98,7 +117,7 @@ class EventTracer:
             )
         return out
 
-    def write_chrome_trace(self, path):
+    def write_chrome_trace(self, path: str) -> int:
         """Write the Chrome-trace JSON array to *path*; returns the
         number of events written."""
         events = self.chrome_trace()
@@ -106,5 +125,5 @@ class EventTracer:
             json.dump(events, stream)
         return len(events)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "EventTracer(%d events, %d dropped)" % (len(self.events), self.dropped)

@@ -108,7 +108,10 @@ class BlissScheduler:
 
     def __init__(self, config):
         if config is None:
-            raise ConfigError("BlissScheduler needs a SchedulerConfig")
+            raise ConfigError(
+                "BlissScheduler needs a SchedulerConfig",
+                context={"scheduler": "bliss"},
+            )
         self.config = config
         self._blacklist = set()
         self._last_cpu = None
@@ -179,7 +182,10 @@ class AtlasScheduler:
 
     def __init__(self, config):
         if config is None:
-            raise ConfigError("AtlasScheduler needs a SchedulerConfig")
+            raise ConfigError(
+                "AtlasScheduler needs a SchedulerConfig",
+                context={"scheduler": "atlas"},
+            )
         self.config = config
         self._attained = {}
         self._next_reset = config.atlas_quantum_cycles
@@ -267,5 +273,11 @@ def make_scheduler(scheduler_config, tempo_enabled=False):
     elif policy == "atlas":
         base = AtlasScheduler(scheduler_config)
     else:
-        raise ConfigError("unknown scheduler %r" % (policy,))
+        raise ConfigError(
+            "unknown scheduler %r" % (policy,),
+            context={
+                "policy": policy,
+                "known": ["fcfs", "frfcfs", "bliss", "atlas"],
+            },
+        )
     return TempoGroupingScheduler(base) if tempo_enabled else base

@@ -137,9 +137,15 @@ class SystemSimulator:
         else:
             trace_list = [traces]
         if not trace_list:
-            raise SimulationError("need at least one trace")
+            raise SimulationError(
+                "need at least one trace",
+                context={"traces_type": type(traces).__name__},
+            )
         if not isinstance(config, SystemConfig):
-            raise ConfigError("config must be a SystemConfig, got %s" % type(config).__name__)
+            raise ConfigError(
+                "config must be a SystemConfig, got %s" % type(config).__name__,
+                context={"config_type": type(config).__name__},
+            )
         config.validate()
         if config.num_cores != len(trace_list):
             config = config.copy_with(num_cores=len(trace_list))
@@ -165,10 +171,16 @@ class SystemSimulator:
         #: bit-identical; "batch" trades per-record dispatch for bulk
         #: stat application.
         if kernel not in (None, "scalar", "batch"):
-            raise ConfigError("kernel must be 'scalar' or 'batch', got %r" % (kernel,))
+            raise ConfigError(
+                "kernel must be 'scalar' or 'batch', got %r" % (kernel,),
+                context={"kernel": kernel},
+            )
         self.kernel = kernel or "scalar"
         if batch_size < 1:
-            raise ConfigError("batch_size must be >= 1, got %r" % (batch_size,))
+            raise ConfigError(
+                "batch_size must be >= 1, got %r" % (batch_size,),
+                context={"batch_size": batch_size, "kernel": self.kernel},
+            )
         self._batch_size = int(batch_size)
         #: Nullable invariant-audit suite + flight recorder
         #: (:mod:`repro.verify`); like the tracer, hot paths pay one
@@ -271,7 +283,13 @@ class SystemSimulator:
                 raise SimulationError(
                     "region %r planned at 0x%x but allocated at 0x%x -- "
                     "generator and AddressSpace layouts diverged"
-                    % (spec.name, spec.base, region.base)
+                    % (spec.name, spec.base, region.base),
+                    context={
+                        "region": spec.name,
+                        "trace": trace.name,
+                        "planned_base_addr": spec.base,
+                        "allocated_base_addr": region.base,
+                    },
                 )
 
     # ------------------------------------------------------------------
@@ -645,7 +663,13 @@ class SystemSimulator:
                 if not pending_channels:
                     raise SimulationError(
                         "cores blocked on requests that are neither queued "
-                        "nor serviced -- controller state is inconsistent"
+                        "nor serviced -- controller state is inconsistent",
+                        context={
+                            "blocked_requests": sorted(blocked),
+                            "blocked_cores": sorted(
+                                cpu for cpu, _, _ in blocked.values()
+                            ),
+                        },
                     )
                 channel = min(pending_channels, key=controller.next_decision_time)
                 controller.service_one(channel)
@@ -691,10 +715,15 @@ class SystemSimulator:
         registry = MetricsRegistry()
         registry.register(self.stats)  # system.*
         registry.register(self.controller.stats)  # controller.*
+        registry.register(self.controller.scheduler.stats)  # sched.<kind>.*
         registry.register(self.controller.device.stats)  # dram.bank.*
+        registry.register(self.controller.device.row_policy.stats)
         registry.register(self.energy.stats)  # energy.*
         registry.register(self.hierarchy.stats)  # caches.*
         registry.register(self.hierarchy.llc.stats)  # llc.*
+        registry.register(self.allocator.stats)  # frame_allocator.*
+        if self.engine is not None:
+            registry.register(self.engine.stats)  # tempo_engine.*
         for core in self.cores:
             prefix = "core%d" % core.cpu
             registry.register(core.tlb.stats, prefix)  # core<N>.tlb.*
@@ -706,6 +735,7 @@ class SystemSimulator:
             if core.imp is not None:
                 registry.register(core.imp.stats, prefix)
             registry.register(core.address_space.stats, prefix)
+            registry.register(core.address_space.page_table.stats, prefix)
         return registry
 
     # ------------------------------------------------------------------

@@ -11,6 +11,10 @@ in virtual memory; :func:`plan_virtual_layout` is the single source of
 truth (it mirrors ``AddressSpace.allocate_region``).
 """
 
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
 from repro.common.constants import PAGE_SIZE_1G
 from repro.common.errors import SimulationError
 from repro.vm.address_space import REGION_SPACE_BASE
@@ -21,13 +25,19 @@ class TraceRecord:
 
     __slots__ = ("vaddr", "is_write", "gap", "pattern")
 
-    def __init__(self, vaddr, is_write=False, gap=0, pattern=None):
+    def __init__(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        gap: int = 0,
+        pattern: Optional[str] = None,
+    ) -> None:
         self.vaddr = vaddr
         self.is_write = is_write
         self.gap = gap
         self.pattern = pattern
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         mode = "W" if self.is_write else "R"
         return "TraceRecord(%s 0x%x, gap=%d)" % (mode, self.vaddr, self.gap)
 
@@ -37,14 +47,21 @@ class RegionSpec:
 
     __slots__ = ("name", "size", "base", "allow_superpages", "thp_eligibility")
 
-    def __init__(self, name, size, base, allow_superpages=True, thp_eligibility=1.0):
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        base: int,
+        allow_superpages: bool = True,
+        thp_eligibility: float = 1.0,
+    ) -> None:
         self.name = name
         self.size = size
         self.base = base
         self.allow_superpages = allow_superpages
         self.thp_eligibility = thp_eligibility
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "RegionSpec(%s @0x%x, %d MB)" % (
             self.name,
             self.base,
@@ -52,18 +69,21 @@ class RegionSpec:
         )
 
 
-def plan_virtual_layout(sizes):
+def plan_virtual_layout(sizes: Sequence[int]) -> List[int]:
     """Compute the deterministic region bases for ordered *sizes*.
 
     Mirrors ``AddressSpace.allocate_region``: each region starts at the
     1 GB boundary after the previous region's end plus a 1 GB guard gap,
     beginning at ``REGION_SPACE_BASE``.
     """
-    bases = []
+    bases: List[int] = []
     next_base = REGION_SPACE_BASE
     for size in sizes:
         if size <= 0:
-            raise SimulationError("region sizes must be positive")
+            raise SimulationError(
+                "region sizes must be positive",
+                context={"sizes": list(sizes)},
+            )
         bases.append(next_base)
         end = next_base + size
         next_base = ((end + PAGE_SIZE_1G - 1) // PAGE_SIZE_1G + 1) * PAGE_SIZE_1G
@@ -73,7 +93,13 @@ def plan_virtual_layout(sizes):
 class Trace:
     """An ordered reference stream plus the regions it touches."""
 
-    def __init__(self, name, records, regions, footprint_bytes=None):
+    def __init__(
+        self,
+        name: str,
+        records: Sequence[TraceRecord],
+        regions: Sequence[RegionSpec],
+        footprint_bytes: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.records = records
         self.regions = regions
@@ -82,32 +108,40 @@ class Trace:
             if footprint_bytes is not None
             else sum(region.size for region in regions)
         )
-        self._next_same_pattern = None
+        self._next_same_pattern: Optional[List[int]] = None
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
-    def validate(self):
+    def validate(self) -> "Trace":
         """Check every reference falls inside a declared region."""
         spans = sorted((region.base, region.base + region.size) for region in self.regions)
         for record in self.records:
             if not any(base <= record.vaddr < end for base, end in spans):
                 raise SimulationError(
                     "trace %r references 0x%x outside every region"
-                    % (self.name, record.vaddr)
+                    % (self.name, record.vaddr),
+                    context={
+                        "trace": self.name,
+                        "vaddr": record.vaddr,
+                        "regions": [
+                            (region.name, region.base, region.size)
+                            for region in self.regions
+                        ],
+                    },
                 )
         return self
 
-    def next_same_pattern(self):
+    def next_same_pattern(self) -> List[int]:
         """``next_index[i]`` = trace position of the next record sharing
         record *i*'s pattern label (or -1).  Computed once, O(n); this is
         the lookahead oracle the IMP model consumes."""
         if self._next_same_pattern is None:
             next_index = [-1] * len(self.records)
-            last_seen = {}
+            last_seen: Dict[str, int] = {}
             for position in range(len(self.records) - 1, -1, -1):
                 pattern = self.records[position].pattern
                 if pattern is not None:
@@ -116,7 +150,7 @@ class Trace:
             self._next_same_pattern = next_index
         return self._next_same_pattern
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Trace(%s, %d refs, %d MB footprint)" % (
             self.name,
             len(self.records),

@@ -14,17 +14,24 @@ unlabeled).  The format is line-oriented so traces can be streamed,
 diffed, and compressed externally.
 """
 
+from __future__ import annotations
+
 import json
+import os
+from typing import Any, Dict, List, Union
 
 from repro.common.errors import SimulationError
 from repro.sim.trace import RegionSpec, Trace, TraceRecord
 
 FORMAT_VERSION = 1
 
+#: Anything ``open`` accepts for a text file.
+PathLike = Union[str, "os.PathLike[str]"]
 
-def save_trace(trace, path):
+
+def save_trace(trace: Trace, path: PathLike) -> int:
     """Write *trace* to *path*; returns the number of records written."""
-    header = {
+    header: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "name": trace.name,
         "footprint_bytes": trace.footprint_bytes,
@@ -55,20 +62,31 @@ def save_trace(trace, path):
     return len(trace.records)
 
 
-def load_trace(path):
+def load_trace(path: PathLike) -> Trace:
     """Read a trace written by :func:`save_trace`."""
     with open(path) as stream:
         header_line = stream.readline()
         if not header_line.strip():
-            raise SimulationError("%s: empty trace file" % path)
+            raise SimulationError(
+                "%s: empty trace file" % path,
+                context={"trace_path": str(path)},
+            )
         try:
             header = json.loads(header_line)
         except json.JSONDecodeError as error:
-            raise SimulationError("%s: bad trace header: %s" % (path, error))
+            raise SimulationError(
+                "%s: bad trace header: %s" % (path, error),
+                context={"trace_path": str(path), "json_error": str(error)},
+            )
         if header.get("format_version") != FORMAT_VERSION:
             raise SimulationError(
                 "%s: unsupported trace format version %r"
-                % (path, header.get("format_version"))
+                % (path, header.get("format_version")),
+                context={
+                    "trace_path": str(path),
+                    "format_version": header.get("format_version"),
+                    "supported_version": FORMAT_VERSION,
+                },
             )
         regions = [
             RegionSpec(
@@ -80,7 +98,7 @@ def load_trace(path):
             )
             for entry in header["regions"]
         ]
-        records = []
+        records: List[TraceRecord] = []
         for line_number, line in enumerate(stream, start=2):
             line = line.rstrip("\n")
             if not line:
@@ -95,7 +113,11 @@ def load_trace(path):
                 )
             except ValueError as error:
                 raise SimulationError(
-                    "%s:%d: bad trace record: %s" % (path, line_number, error)
+                    "%s:%d: bad trace record: %s" % (path, line_number, error),
+                    context={
+                        "trace_path": str(path),
+                        "line_number": line_number,
+                    },
                 )
             records.append(record)
     return Trace(header["name"], records, regions, header.get("footprint_bytes"))

@@ -528,7 +528,10 @@ class AuditorSuite:
     ) -> None:
         if mode not in ("sample", "full"):
             raise InvariantViolation(
-                "suite", "mode", "unknown check-invariants mode %r" % (mode,)
+                "suite",
+                "mode",
+                "unknown check-invariants mode %r" % (mode,),
+                context={"mode": mode, "known": ["sample", "full"]},
             )
         self.mode = mode
         self.recorder = recorder

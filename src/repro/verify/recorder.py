@@ -30,7 +30,10 @@ class FlightRecorder:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
-            raise ConfigError("flight recorder capacity must be >= 1")
+            raise ConfigError(
+                "flight recorder capacity must be >= 1",
+                context={"capacity": capacity},
+            )
         self.capacity = capacity
         #: Total events ever recorded (the ring keeps only the tail).
         self.recorded = 0

@@ -31,7 +31,10 @@ class FrameAllocator:
 
     def __init__(self, phys_mem_bytes, rng=None, contiguity_exponent=2.0):
         if phys_mem_bytes < PAGE_SIZE_2M:
-            raise ConfigError("physical memory must hold at least one 2 MB region")
+            raise ConfigError(
+                "physical memory must hold at least one 2 MB region",
+                context={"phys_mem_bytes": phys_mem_bytes},
+            )
         self.phys_mem_bytes = phys_mem_bytes
         self.num_regions = phys_mem_bytes // PAGE_SIZE_2M
         self.contiguity_exponent = contiguity_exponent
@@ -67,7 +70,12 @@ class FrameAllocator:
         """Claim the next untouched 2 MB region; raises when exhausted."""
         if self.regions_used >= self.num_regions:
             raise AllocationError(
-                "physical memory exhausted (%d regions)" % self.num_regions
+                "physical memory exhausted (%d regions)" % self.num_regions,
+                context={
+                    "num_regions": self.num_regions,
+                    "memhog_regions": self._memhog_regions,
+                    "free_frames": len(self._free_frames),
+                },
             )
         region = self._region_cursor
         self._region_cursor += 1
@@ -147,7 +155,10 @@ class FrameAllocator:
         elif page_size == PAGE_SIZE_1G:
             taker = self.alloc_1g
         else:
-            raise ConfigError("pools exist only for 2 MB / 1 GB pages")
+            raise ConfigError(
+                "pools exist only for 2 MB / 1 GB pages",
+                context={"page_size": page_size, "count": count},
+            )
         return [taker() for _ in range(count)]
 
     def free_4k(self, paddr):
@@ -167,7 +178,10 @@ class FrameAllocator:
         probability ``(1 - fraction) ** contiguity_exponent``.
         """
         if not 0.0 <= fraction < 1.0:
-            raise ConfigError("memhog fraction must be in [0, 1)")
+            raise ConfigError(
+                "memhog fraction must be in [0, 1)",
+                context={"fraction": fraction},
+            )
         self._memhog_fraction = fraction
         self._memhog_regions = int(self.num_regions * fraction)
         self.stats.counter("memhog_regions").add(self._memhog_regions)

@@ -93,7 +93,10 @@ class HugetlbfsPolicy(SuperpagePolicy):
 
     def __init__(self, allocator, page_size, pool_pages):
         if page_size not in (PAGE_SIZE_2M, PAGE_SIZE_1G):
-            raise ConfigError("hugetlbfs supports 2 MB / 1 GB pages only")
+            raise ConfigError(
+                "hugetlbfs supports 2 MB / 1 GB pages only",
+                context={"page_size": page_size, "pool_pages": pool_pages},
+            )
         super().__init__(allocator)
         self.page_size = page_size
         self.name = "hugetlbfs-%s" % ("2m" if page_size == PAGE_SIZE_2M else "1g")

@@ -70,7 +70,8 @@ def get_workload(name):
     workload = _ALL.get(name)
     if workload is None:
         raise ConfigError(
-            "unknown workload %r (known: %s)" % (name, ", ".join(sorted(_ALL)))
+            "unknown workload %r (known: %s)" % (name, ", ".join(sorted(_ALL))),
+            context={"workload": name, "known": sorted(_ALL)},
         )
     return workload
 
