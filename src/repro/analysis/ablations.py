@@ -150,3 +150,23 @@ def scheduler_sensitivity(workloads=DEFAULT_WORKLOADS, length=10000, seed=0,
             }
         )
     return {"figure": "ablation_schedulers", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Driver registry
+# ----------------------------------------------------------------------
+
+#: Ablation id -> driver, keyed by the ``figure`` field each result
+#: reports.  The sweep service accepts these ids alongside the paper
+#: figures in ``EXPERIMENT_DRIVERS``.
+ABLATION_DRIVERS = {
+    "ablation_destinations": prefetch_destinations,
+    "ablation_txq_grouping": txq_grouping,
+    "ablation_prefetch_latency": prefetch_row_latency,
+    "ablation_schedulers": scheduler_sensitivity,
+}
+
+#: Ablations that study one workload at a time (their driver takes a
+#: singular ``workload=``); a job-spec ``workloads`` list for these must
+#: contain exactly one name.
+SINGLE_WORKLOAD_ABLATIONS = ("ablation_prefetch_latency",)

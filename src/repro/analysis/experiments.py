@@ -546,3 +546,31 @@ def fig17_subrows(mixes=None, length=6000, seed=0, dedicated_options=(0, 1, 2, 4
                 }
             )
     return {"figure": "fig17", "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Driver registry
+# ----------------------------------------------------------------------
+
+#: Figure id -> driver, for every consumer that names figures by id (the
+#: ``repro experiment`` CLI, the sweep service's submission endpoint,
+#: the docs honesty gate).  ``repro.analysis.report`` keeps its own
+#: (driver, kwargs) tuples because it also fixes report-quality lengths.
+EXPERIMENT_DRIVERS = {
+    "fig01": fig01_runtime_breakdown,
+    "fig04": fig04_dram_reference_breakdown,
+    "fig10": fig10_performance_energy,
+    "fig11_left": fig11_replay_service,
+    "fig11_right": fig11_small_footprint,
+    "fig12": fig12_imp_interaction,
+    "fig13": fig13_superpage_sensitivity,
+    "fig14": fig14_row_policies,
+    "fig15": fig15_wait_cycles,
+    "fig16": fig16_bliss,
+    "fig17": fig17_subrows,
+}
+
+#: Figures whose workload set is part of the experiment's definition
+#: (small-footprint set, multiprogrammed mixes): a ``--workloads`` /
+#: job-spec ``workloads`` override is meaningless for these.
+FIXED_WORKLOAD_FIGURES = ("fig11_right", "fig16", "fig17")

@@ -49,6 +49,19 @@ Commands:
     ``--faults``) work as for ``experiment``.  With ``--allow-partial``
     a degraded report carries a banner listing the missing cells and
     the run exits 3.
+``serve``
+    Run the sweep service: an asyncio HTTP API
+    (``docs/service.md``) that owns one long-lived executor and
+    content-addressed cache and serves many concurrent clients -- job
+    submission, status polling, live telemetry streaming, and
+    result/manifest retrieval.  ``--host``/``--port`` pick the bind
+    address (``--port 0`` asks the OS for a free port, announced on
+    stdout); ``--cache-dir`` locates the shared cache and the service's
+    job journal; ``--jobs`` fans each sweep's cells across worker
+    processes.  A server killed mid-sweep resumes its journaled jobs on
+    restart with zero re-simulation.  Exits 0 on clean (signal)
+    shutdown, 1 when serving fails (e.g. the port is taken), 2 on
+    invalid options.
 ``verify``
     Run the differential/metamorphic oracle suite (``repro.verify``):
     fast-path vs event-engine equivalence, run-to-run determinism,
@@ -332,28 +345,21 @@ def _cmd_trace(args, out):
 
 
 def _cmd_experiment(args, out):
-    from repro.analysis import experiments
+    from repro.analysis.experiments import (
+        EXPERIMENT_DRIVERS,
+        FIXED_WORKLOAD_FIGURES,
+    )
     from repro.analysis.tables import render_experiment
 
-    drivers = {
-        "fig01": experiments.fig01_runtime_breakdown,
-        "fig04": experiments.fig04_dram_reference_breakdown,
-        "fig10": experiments.fig10_performance_energy,
-        "fig11_left": experiments.fig11_replay_service,
-        "fig11_right": experiments.fig11_small_footprint,
-        "fig12": experiments.fig12_imp_interaction,
-        "fig13": experiments.fig13_superpage_sensitivity,
-        "fig14": experiments.fig14_row_policies,
-        "fig15": experiments.fig15_wait_cycles,
-        "fig16": experiments.fig16_bliss,
-        "fig17": experiments.fig17_subrows,
-    }
-    driver = drivers.get(args.figure)
+    driver = EXPERIMENT_DRIVERS.get(args.figure)
     if driver is None:
-        out.write("unknown figure %r; choose from: %s\n" % (args.figure, ", ".join(sorted(drivers))))
+        out.write(
+            "unknown figure %r; choose from: %s\n"
+            % (args.figure, ", ".join(sorted(EXPERIMENT_DRIVERS)))
+        )
         return 2
     kwargs = {"length": args.length}
-    if args.figure in ("fig11_right", "fig16", "fig17"):
+    if args.figure in FIXED_WORKLOAD_FIGURES:
         if args.workloads:
             out.write(
                 "warning: %s uses a fixed workload set; ignoring --workloads %s\n"
@@ -510,6 +516,43 @@ def _cmd_report(args, out):
     out.write(executor.summary() + "\n")
     out.write("report written to %s\n" % path)
     return _executor_exit_code(executor, out)
+
+
+def _cmd_serve(args, out):
+    from repro.service import build_service
+
+    if not 0 <= args.port <= 65535:
+        out.write("error: --port must be in 0..65535 (got %d)\n" % args.port)
+        return 2
+    if args.jobs < 1:
+        out.write("error: --jobs must be >= 1 (got %d)\n" % args.jobs)
+        return 2
+    try:
+        service = build_service(
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            kernel=args.kernel,
+            check_invariants=_invariant_mode(args),
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+            allow_partial=args.allow_partial,
+            faults=args.faults,
+        )
+    except ValueError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+
+    def announce(host, port):
+        out.write("serving on http://%s:%d\n" % (host, port))
+        out.flush()
+
+    try:
+        service.run(args.host, args.port, announce=announce)
+    except OSError as exc:
+        out.write("error: cannot serve on %s:%d: %s\n" % (args.host, args.port, exc))
+        return 1
+    out.write("sweep service stopped\n")
+    return 0
 
 
 def build_parser():
@@ -709,6 +752,66 @@ def build_parser():
     add_invariant_flag(report_parser)
     add_kernel_flag(report_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the sweep service: an HTTP API over the shared executor",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 asks the OS for a free one, announced on stdout "
+        "(default: 8765)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache location shared with the CLI sweeps; the service also "
+        "journals its jobs here (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-tempo)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for each sweep's independent cells (jobs "
+        "themselves run one at a time; default: 1)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="default retries per failing cell; job specs may override "
+        "(default: 2)",
+    )
+    serve_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-cell timeout; job specs may override",
+    )
+    serve_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="by default degrade (not fail) jobs whose cells exhaust retries",
+    )
+    serve_parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="deterministic fault injection for testing, e.g. "
+        "'seed=0,kill=0.3,abort-after=4'",
+    )
+    add_invariant_flag(serve_parser)
+    add_kernel_flag(serve_parser)
+
     verify_parser = subparsers.add_parser(
         "verify", help="run the differential/metamorphic oracle suite"
     )
@@ -787,6 +890,7 @@ def main(argv=None, out=None):
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
         "lint": _cmd_lint,
     }

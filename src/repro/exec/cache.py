@@ -111,6 +111,21 @@ class ResultCache:
         and tests to garble entries in place)."""
         return self._result_path(key)
 
+    def stats(self) -> Dict[str, int]:
+        """Entry counts per store section (``results`` / ``traces`` /
+        ``quarantine`` / ``checkpoints``) -- the sweep service's cache
+        inspection endpoint.  Counting walks the fan-out directories;
+        it is O(entries) and intended for operator queries, not hot
+        paths."""
+        counts: Dict[str, int] = {}
+        for section in ("results", "traces", "quarantine", "checkpoints"):
+            total = 0
+            base = os.path.join(self.root, section)
+            for _, _, files in os.walk(base):
+                total += sum(1 for name in files if not name.endswith(".tmp"))
+            counts[section] = total
+        return counts
+
     def quarantine(
         self, key: str, reason: Union[QuarantineReason, str]
     ) -> Optional[str]:

@@ -32,7 +32,10 @@ retries, and resumption cannot leak into results -- an interrupted,
 resumed, parallel run is bit-identical to a serial uncached one.
 """
 
+import contextlib
 import os
+
+from typing import Optional, Union
 
 from repro.exec.cache import QuarantineReason, ResultCache
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
@@ -45,6 +48,7 @@ from repro.exec.resilience import (
     missing_cell_payload,
 )
 from repro.exec.serialize import payload_to_result, result_to_payload
+from repro.exec.telemetry import TelemetryLog
 
 
 def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None, kernel=None):
@@ -123,15 +127,15 @@ class ExperimentExecutor:
 
     def __init__(
         self,
-        jobs=1,
-        cache=None,
-        resilience=None,
-        faults=None,
-        resume=False,
-        check_invariants=None,
-        telemetry=None,
-        kernel=None,
-    ):
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        faults: Optional[Union[FaultSpec, FaultPlan]] = None,
+        resume: bool = False,
+        check_invariants: Optional[str] = None,
+        telemetry: Optional[TelemetryLog] = None,
+        kernel: Optional[str] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -187,6 +191,47 @@ class ExperimentExecutor:
         #: ``invariant-violation``), surfaced by :meth:`summary` and the
         #: report's provenance section.
         self.quarantine_reasons = {}
+
+    # ------------------------------------------------------------------
+    # Job scoping -- the hooks the sweep service builds on.  One
+    # long-lived executor serves many submitted jobs back to back; these
+    # let each job carry its own telemetry log and option overrides and
+    # report per-job counter deltas, while the memo, cache, and
+    # cumulative counters stay shared (that sharing is the whole point:
+    # a warm cell is warm for every client).
+
+    def counters_snapshot(self):
+        """A copy of the cumulative counters, for later delta-ing."""
+        return dict(self.counters)
+
+    def counters_since(self, snapshot):
+        """Per-counter deltas since a :meth:`counters_snapshot`."""
+        return {
+            name: value - snapshot.get(name, 0)
+            for name, value in self.counters.items()
+        }
+
+    @contextlib.contextmanager
+    def job_scope(self, telemetry=None, kernel=None, resilience=None, resume=None):
+        """Temporarily override per-job knobs; restores them on exit.
+
+        ``None`` keeps the executor's current value.  Callers must not
+        overlap scopes -- the sweep service serializes jobs around the
+        shared executor precisely so this swap is race-free.
+        """
+        saved = (self.telemetry, self.kernel, self.resilience, self.resume)
+        if telemetry is not None:
+            self.telemetry = telemetry
+        if kernel is not None:
+            self.kernel = kernel
+        if resilience is not None:
+            self.resilience = resilience
+        if resume is not None:
+            self.resume = resume
+        try:
+            yield self
+        finally:
+            self.telemetry, self.kernel, self.resilience, self.resume = saved
 
     # ------------------------------------------------------------------
 

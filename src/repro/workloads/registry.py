@@ -1,5 +1,7 @@
 """Workload registry: name -> generator."""
 
+from typing import List
+
 from repro.common.errors import ConfigError
 from repro.workloads.base import Workload
 from repro.workloads.bigdata import (
@@ -57,7 +59,9 @@ _ALL = {
 }
 
 
-def workload_names(bigdata_only=False, include_extensions=False):
+def workload_names(
+    bigdata_only: bool = False, include_extensions: bool = False
+) -> List[str]:
     if bigdata_only:
         return [workload.name for workload in BIGDATA_WORKLOADS]
     names = [workload.name for workload in BIGDATA_WORKLOADS + SMALL_WORKLOADS]
