@@ -134,6 +134,7 @@ def _build_executor(args):
     from repro.exec import (
         ExperimentExecutor,
         FaultSpec,
+        HTTPBackend,
         ResiliencePolicy,
         ResultCache,
         default_cache_dir,
@@ -141,10 +142,14 @@ def _build_executor(args):
 
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+        remote = None
+        if getattr(args, "cache_url", None):
+            remote = HTTPBackend(args.cache_url)
+        cache = ResultCache(args.cache_dir or default_cache_dir(), remote=remote)
     policy = ResiliencePolicy(
         max_retries=args.max_retries,
         cell_timeout=args.cell_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
         allow_partial=args.allow_partial,
     )
     faults = FaultSpec.parse(args.faults) if args.faults else None
@@ -155,6 +160,7 @@ def _build_executor(args):
         telemetry = TelemetryLog(args.telemetry)
     return ExperimentExecutor(
         jobs=args.jobs,
+        workers=args.workers,
         cache=cache,
         resilience=policy,
         faults=faults,
@@ -524,17 +530,22 @@ def _cmd_serve(args, out):
     if not 0 <= args.port <= 65535:
         out.write("error: --port must be in 0..65535 (got %d)\n" % args.port)
         return 2
-    if args.jobs < 1:
-        out.write("error: --jobs must be >= 1 (got %d)\n" % args.jobs)
+    effective_workers = args.workers if args.workers is not None else args.jobs
+    if effective_workers < 1:
+        out.write(
+            "error: --workers must be >= 1 (got %d)\n" % effective_workers
+        )
         return 2
     try:
         service = build_service(
             cache_dir=args.cache_dir,
             jobs=args.jobs,
+            workers=args.workers,
             kernel=args.kernel,
             check_invariants=_invariant_mode(args),
             max_retries=args.max_retries,
             cell_timeout=args.cell_timeout,
+            heartbeat_timeout=args.heartbeat_timeout,
             allow_partial=args.allow_partial,
             faults=args.faults,
         )
@@ -676,11 +687,27 @@ def build_parser():
 
     def add_executor_flags(sub):
         sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="persistent pool workers for independent simulation cells "
+            "(default: 1; wins over the legacy --jobs alias)",
+        )
+        sub.add_argument(
             "--jobs",
             type=int,
             default=1,
             metavar="N",
-            help="worker processes for independent simulation cells (default: 1)",
+            help="legacy alias for --workers (default: 1)",
+        )
+        sub.add_argument(
+            "--heartbeat-timeout",
+            type=float,
+            default=10.0,
+            metavar="SECONDS",
+            help="kill and respawn a pool worker silent longer than this "
+            "(default: 10)",
         )
         sub.add_argument(
             "--no-cache",
@@ -691,6 +718,13 @@ def build_parser():
             "--cache-dir",
             metavar="PATH",
             help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-tempo)",
+        )
+        sub.add_argument(
+            "--cache-url",
+            metavar="URL",
+            help="remote sweep-service cache backend (http://host:port); "
+            "reads fill from it, writes replicate to it, and any failure "
+            "degrades gracefully to the local tier",
         )
         sub.add_argument(
             "--resume",
@@ -776,12 +810,28 @@ def build_parser():
         "~/.cache/repro-tempo)",
     )
     serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persistent pool workers each job's cells fan out across "
+        "(jobs themselves run one at a time; default: 1; wins over the "
+        "legacy --jobs alias)",
+    )
+    serve_parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for each sweep's independent cells (jobs "
-        "themselves run one at a time; default: 1)",
+        help="legacy alias for --workers (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="kill and respawn a pool worker silent longer than this "
+        "(default: 10)",
     )
     serve_parser.add_argument(
         "--max-retries",

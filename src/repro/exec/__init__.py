@@ -7,10 +7,17 @@ back together in driver order.  See ``docs/performance.md`` for the
 architecture and the cache-key derivation.
 """
 
-from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.backend import (
+    CacheBackend,
+    CacheBackendError,
+    HTTPBackend,
+    LocalDirBackend,
+)
+from repro.exec.cache import QuarantineReason, ResultCache, default_cache_dir
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell, trace_key
 from repro.exec.executor import ExperimentExecutor, simulate_cell
 from repro.exec.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.exec.pool import PoolConfig, WorkerContext, execute_pooled
 from repro.exec.resilience import (
     CellExecutionError,
     CellFailure,
@@ -23,20 +30,28 @@ from repro.exec.serialize import payload_to_result, result_to_payload
 from repro.exec.telemetry import TelemetryLog
 
 __all__ = [
+    "CacheBackend",
+    "CacheBackendError",
     "CellExecutionError",
     "CellFailure",
     "CheckpointStore",
     "ExperimentExecutor",
     "FaultPlan",
     "FaultSpec",
+    "HTTPBackend",
     "InjectedFault",
+    "LocalDirBackend",
     "PAYLOAD_SCHEMA",
+    "PoolConfig",
+    "QuarantineReason",
     "ResiliencePolicy",
     "ResultCache",
     "SimCell",
     "SweepAborted",
     "TelemetryLog",
+    "WorkerContext",
     "default_cache_dir",
+    "execute_pooled",
     "missing_cell_payload",
     "payload_to_result",
     "result_to_payload",

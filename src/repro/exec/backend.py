@@ -1,0 +1,234 @@
+"""Pluggable storage backends behind the result cache.
+
+:class:`~repro.exec.cache.ResultCache` used to *be* the on-disk layout;
+distribution (docs/distribution.md) needs the layout to be a choice.
+This module splits "where result payloads live" out of the cache into a
+:class:`CacheBackend` interface with two implementations:
+
+* :class:`LocalDirBackend` -- the original ``results/<aa>/<key>.json``
+  fan-out, extracted verbatim.  Always present: it is the durable tier
+  every write lands in first.
+* :class:`HTTPBackend` -- speaks ``GET``/``PUT /api/cache/{key}`` to a
+  running ``repro serve`` instance (the route pair lives in
+  :mod:`repro.service.app`), so a fleet of sweep hosts shares one
+  content-addressed store.  Every operation carries its own socket
+  timeout and a bounded retry budget with linear backoff; exhaustion
+  raises :class:`CacheBackendError`, never hangs.
+
+Failure doctrine: a backend error is *not* a miss and *not* corruption
+-- it means the backend is unhealthy.  The cache layer reacts by
+degrading to the local tier for the rest of the run (counted as
+``backend_degraded``); a dead cache server slows a sweep down, it never
+corrupts or aborts one.  Cell keys are SHA-256 content addresses, so
+any backend returning *an* entry returns *the* entry -- replication and
+last-write-wins races are safe by construction.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import tempfile
+import time
+import urllib.parse
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+Payload = Dict[str, Any]
+
+#: What every backend read returns: ``(payload, status)`` where status
+#: is ``"hit"`` (payload is a dict), ``"miss"``, or ``"corrupt"`` (an
+#: entry exists but cannot be trusted).
+Entry = Tuple[Optional[Payload], str]
+
+
+class CacheBackendError(ReproError):
+    """A backend *operation* failed: network down, server error, disk
+    I/O.  Distinct from a miss (no entry) and from corruption (bad
+    entry): the backend itself is unhealthy, and the cache responds by
+    degrading to the local tier -- never by aborting the sweep."""
+
+
+def atomic_write(path: str, write_fn: Callable[[str], object]) -> None:
+    """Write via a unique temp file + rename so concurrent writers --
+    pool workers or parallel CI jobs sharing a directory -- are safe:
+    last rename wins and every version is identical by construction."""
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        os.close(fd)
+        write_fn(temp_path)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+class CacheBackend:
+    """Content-addressed result storage: get/put payload dicts by the
+    SHA-256 cell key from :mod:`repro.exec.cells`."""
+
+    #: Short kind tag for provenance rows and telemetry.
+    name = "backend"
+
+    def get_entry(self, key: str) -> Entry:
+        """Return ``(payload, "hit"|"miss"|"corrupt")`` for *key*.
+
+        Raises :class:`CacheBackendError` when the backend itself is
+        unreachable or failing (as opposed to simply not having, or
+        having a bad copy of, the entry).
+        """
+        raise NotImplementedError
+
+    def put(self, key: str, payload: Payload) -> None:
+        """Persist *payload* under *key*; raises
+        :class:`CacheBackendError` on backend failure."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location for provenance/telemetry."""
+        return self.name
+
+
+class LocalDirBackend(CacheBackend):
+    """The original on-disk layout: ``results/<aa>/<key>.json`` under a
+    cache root, atomic writes, torn entries reported as corrupt."""
+
+    name = "local"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, "results", key[:2], key + ".json")
+
+    def get_entry(self, key: str) -> Entry:
+        try:
+            with open(self.path(key)) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return None, "miss"
+        except (json.JSONDecodeError, OSError):
+            return None, "corrupt"
+        if not isinstance(payload, dict):
+            return None, "corrupt"
+        return payload, "hit"
+
+    def put(self, key: str, payload: Payload) -> None:
+        def write(temp_path: str) -> None:
+            with open(temp_path, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+
+        atomic_write(self.path(key), write)
+
+    def describe(self) -> str:
+        return "local:%s" % self.root
+
+    def __repr__(self) -> str:
+        return "LocalDirBackend(%r)" % self.root
+
+
+class HTTPBackend(CacheBackend):
+    """Remote result store over the sweep service's cache route pair
+    (``GET``/``PUT /api/cache/{key}``, see docs/service.md).
+
+    Every operation opens a fresh connection with *timeout* seconds of
+    socket budget and is retried up to *retries* extra times with
+    linear backoff (``backoff_seconds * attempt``); 5xx responses count
+    as failures.  When the budget is exhausted the operation raises
+    :class:`CacheBackendError` -- the caller (:class:`ResultCache`)
+    turns that into local-tier degradation, so a dead server costs
+    latency, never correctness.
+    """
+
+    name = "http"
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 3.0,
+        retries: int = 1,
+        backoff_seconds: float = 0.2,
+    ) -> None:
+        if "//" not in base_url:
+            base_url = "//" + base_url
+        split = urllib.parse.urlsplit(base_url, scheme="http")
+        if split.scheme != "http":
+            raise ValueError("HTTPBackend only speaks http:// (got %r)" % base_url)
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port if split.port is not None else 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+
+    def _request(
+        self, method: str, key: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        last_error = "no attempt made"
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_seconds * attempt)
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                headers = {"Content-Type": "application/json"} if body else {}
+                connection.request(
+                    method, "/api/cache/" + key, body=body, headers=headers
+                )
+                response = connection.getresponse()
+                data = response.read()
+                if response.status >= 500:
+                    last_error = "server error %d" % response.status
+                    continue
+                return response.status, data
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = "%s: %s" % (type(exc).__name__, exc)
+            finally:
+                connection.close()
+        raise CacheBackendError(
+            "cache backend %s unreachable after %d attempt(s): %s"
+            % (self.describe(), self.retries + 1, last_error),
+            context={"method": method, "key": key[:12], "error": last_error},
+        )
+
+    def get_entry(self, key: str) -> Entry:
+        status, data = self._request("GET", key)
+        if status == 404:
+            return None, "miss"
+        if status != 200:
+            raise CacheBackendError(
+                "cache GET %s returned status %d" % (key[:12], status),
+                context={"key": key[:12], "status": status},
+            )
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheBackendError(
+                "cache GET %s returned unparseable body: %s" % (key[:12], exc),
+                context={"key": key[:12]},
+            )
+        payload = document.get("payload") if isinstance(document, dict) else None
+        if not isinstance(payload, dict):
+            return None, "corrupt"
+        return payload, "hit"
+
+    def put(self, key: str, payload: Payload) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        status, _ = self._request("PUT", key, body=body)
+        if status not in (200, 201):
+            raise CacheBackendError(
+                "cache PUT %s returned status %d" % (key[:12], status),
+                context={"key": key[:12], "status": status},
+            )
+
+    def describe(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def __repr__(self) -> str:
+        return "HTTPBackend(%r)" % self.describe()

@@ -11,20 +11,26 @@ matter where each result came from:
 2. the content-addressed disk cache (same cell in any earlier
    invocation on this machine), or
 3. a fresh simulation -- inline when nothing requires process
-   isolation, otherwise one worker process per cell (at most ``jobs``
-   concurrent) through :func:`repro.exec.resilience.execute_resilient`.
+   isolation, otherwise on the supervised persistent worker pool
+   (``workers`` long-lived processes pulling cells from a shared
+   queue, :mod:`repro.exec.pool`) through
+   :func:`repro.exec.resilience.execute_resilient`.
 
-Fault tolerance (see ``docs/resilience.md``): every batch journals
-per-cell state to a :class:`~repro.exec.resilience.CheckpointStore`
-under the cache root, so an interrupted sweep resumed with
-``resume=True`` re-simulates nothing that completed.  Failing cells are
-retried per the :class:`~repro.exec.resilience.ResiliencePolicy`
-(timeouts kill the worker; crashes are detected from the exit code);
-corrupt or schema-stale cache entries are quarantined -- moved aside,
-never deleted -- and re-simulated; and with ``allow_partial`` a cell
-that exhausts its retries degrades to an explicitly-marked missing
-payload (recorded in :attr:`ExperimentExecutor.failed_cells`) instead
-of aborting the campaign.
+Fault tolerance (see ``docs/resilience.md`` and
+``docs/distribution.md``): every batch journals per-cell state to a
+:class:`~repro.exec.resilience.CheckpointStore` under the cache root,
+so an interrupted sweep resumed with ``resume=True`` re-simulates
+nothing that completed.  Failing cells are retried per the
+:class:`~repro.exec.resilience.ResiliencePolicy` (timeouts kill the
+worker; crashed and heartbeat-stalled workers are respawned and their
+claims requeued; a cell that kills several workers in a row is
+quarantined as a poison cell); corrupt or schema-stale cache entries
+are quarantined -- moved aside, never deleted -- and re-simulated; a
+failing remote cache backend degrades to the local tier; and with
+``allow_partial`` a cell that exhausts its retries degrades to an
+explicitly-marked missing payload (recorded in
+:attr:`ExperimentExecutor.failed_cells`) instead of aborting the
+campaign.
 
 Determinism: cells carry their own seed and every simulation derives all
 randomness from it (:mod:`repro.common.rng`), so scheduling order,
@@ -40,6 +46,7 @@ from typing import Optional, Union
 from repro.exec.cache import QuarantineReason, ResultCache
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
 from repro.exec.faults import FaultPlan, FaultSpec
+from repro.exec.pool import PoolConfig, WorkerContext
 from repro.exec.resilience import (
     CellExecutionError,
     CheckpointStore,
@@ -90,40 +97,11 @@ def simulate_cell(cell, cache=None, trace_memo=None, check_invariants=None, kern
     return result_to_payload(result)
 
 
-def _resilience_worker(
-    cell, cache_root, attempt, plan, channel, check_invariants=None, kernel=None
-):
-    """Top-level worker entry point: one cell, one process.
-
-    Injects any scheduled faults first (a ``kill`` fault ``os._exit``s
-    right here, exactly like a crashed worker), then simulates and
-    reports ``(key, "ok", payload)`` or ``(key, "error", message)`` on
-    the cell's private result channel.
-    """
-    try:
-        if plan is not None:
-            plan.inject(cell.key(), attempt)
-        cache = ResultCache(cache_root) if cache_root is not None else None
-        channel.put(
-            (
-                cell.key(),
-                "ok",
-                simulate_cell(
-                    cell, cache, check_invariants=check_invariants, kernel=kernel
-                ),
-            )
-        )
-    except BaseException as exc:
-        try:
-            channel.put(
-                (cell.key(), "error", "%s: %s" % (type(exc).__name__, exc))
-            )
-        except Exception:
-            os._exit(70)
-
-
 class ExperimentExecutor:
-    """Schedules cells across workers, through the cache, in order."""
+    """Schedules cells across the worker pool, through the cache, in
+    order.  ``workers`` is the pool size; ``jobs`` is its legacy alias
+    (kept for callers and flags that predate the pool -- when both are
+    given, ``workers`` wins)."""
 
     def __init__(
         self,
@@ -135,10 +113,19 @@ class ExperimentExecutor:
         check_invariants: Optional[str] = None,
         telemetry: Optional[TelemetryLog] = None,
         kernel: Optional[str] = None,
+        workers: Optional[int] = None,
+        pool: Optional[PoolConfig] = None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
-        self.jobs = jobs
+        effective = workers if workers is not None else jobs
+        if effective < 1:
+            raise ValueError("workers must be >= 1")
+        #: Pool size: how many persistent worker processes a batch that
+        #: needs process isolation fans out across.
+        self.workers = effective
+        #: Optional :class:`~repro.exec.pool.PoolConfig` override for
+        #: supervision knobs (heartbeat cadence, poison threshold).
+        #: When set it is used verbatim, including its ``workers``.
+        self.pool = pool
         #: ``scalar``/``batch``: the hot-loop kernel every simulation
         #: this executor runs uses (recorded in each result's
         #: ``manifest.kernel``; both kernels are bit-identical).
@@ -172,7 +159,12 @@ class ExperimentExecutor:
         #: the resilience tallies (``resumed`` checkpoint-verified cache
         #: hits, ``retries``/``timeouts``/``crashes`` recovered faults,
         #: ``quarantined`` bad cache entries moved aside, ``failed``
-        #: cells degraded to missing).
+        #: cells degraded to missing) and the pool-fabric tallies
+        #: (``stalls`` heartbeat-deadline kills, ``steals`` cells
+        #: claimed by a non-home worker, ``workers_spawned`` /
+        #: ``workers_respawned`` pool lifecycle, ``poison_cells``
+        #: quarantined worker-killers, ``backend_degraded`` failed
+        #: remote-cache operations).
         self.counters = {
             "simulated": 0,
             "cache_hits": 0,
@@ -182,15 +174,27 @@ class ExperimentExecutor:
             "retries": 0,
             "timeouts": 0,
             "crashes": 0,
+            "stalls": 0,
+            "steals": 0,
+            "workers_spawned": 0,
+            "workers_respawned": 0,
+            "poison_cells": 0,
+            "backend_degraded": 0,
             "quarantined": 0,
             "failed": 0,
             "inline_batches": 0,
-            "isolated_batches": 0,
+            "pooled_batches": 0,
         }
         #: Per-cause quarantine tally (``corrupt`` / ``stale-schema`` /
-        #: ``invariant-violation``), surfaced by :meth:`summary` and the
-        #: report's provenance section.
+        #: ``invariant-violation`` / ``poison-cell``), surfaced by
+        #: :meth:`summary` and the report's provenance section.
         self.quarantine_reasons = {}
+
+    @property
+    def jobs(self):
+        """Legacy alias for :attr:`workers` (pre-pool callers and the
+        service health endpoint read it)."""
+        return self.workers
 
     # ------------------------------------------------------------------
     # Job scoping -- the hooks the sweep service builds on.  One
@@ -253,6 +257,8 @@ class ExperimentExecutor:
 
         plan = self._materialize_faults(unique)
         self._inject_corruption(plan)
+        if plan is not None and plan.cache_unavailable and self.cache is not None:
+            self.cache.inject_unavailable(plan.cache_unavailable)
 
         checkpoint = None
         prior_done = set()
@@ -278,6 +284,7 @@ class ExperimentExecutor:
         finally:
             if checkpoint is not None:
                 checkpoint.close()
+            self._sync_backend_degraded()
             if self.telemetry is not None:
                 self.telemetry.batch_finish(self.counters)
 
@@ -372,6 +379,20 @@ class ExperimentExecutor:
                         "attempts": failure.attempts,
                     },
                 )
+            if self.cache is not None and failure.error.startswith("PoisonCell"):
+                # The cell killed several pool workers in a row; leave
+                # evidence so the kill count and exit code survive the
+                # run (docs/distribution.md).
+                self._quarantine(
+                    failure.key,
+                    QuarantineReason.POISON_CELL,
+                    evidence={
+                        "key": failure.key,
+                        "error": failure.error,
+                        "attempts": failure.attempts,
+                        "workloads": failure.workloads,
+                    },
+                )
             if checkpoint is not None:
                 checkpoint.record(
                     failure.key, "failed", failure.attempts, failure.error
@@ -386,35 +407,42 @@ class ExperimentExecutor:
                 kernel=self.kernel,
             )
 
-        cache_root = self.cache.root if self.cache is not None else None
+        def on_worker(action, worker_id, info):
+            if telemetry is not None:
+                telemetry.worker_event(action, worker_id, info)
 
-        def worker_args(cell, attempt, channel):
-            return (
-                cell,
-                cache_root,
-                attempt,
-                plan,
-                channel,
-                self.check_invariants,
-                self.kernel,
-            )
+        worker_context = WorkerContext(
+            cache_root=self.cache.root if self.cache is not None else None,
+            check_invariants=self.check_invariants,
+            kernel=self.kernel,
+        )
 
         stats = execute_resilient(
             pending,
-            jobs=self.jobs,
+            workers=self.workers,
             policy=self.resilience,
             plan=plan,
             run_inline=run_inline,
-            worker=_resilience_worker,
-            worker_args=worker_args,
+            worker_context=worker_context,
+            pool=self.pool,
             on_state=on_state,
             on_done=on_done,
             on_failed=on_failed,
+            on_worker=on_worker,
         )
-        for name in ("retries", "timeouts", "crashes"):
-            self.counters[name] += stats[name]
-        if stats.get("isolated"):
-            self.counters["isolated_batches"] += 1
+        for name in (
+            "retries",
+            "timeouts",
+            "crashes",
+            "stalls",
+            "steals",
+            "workers_spawned",
+            "workers_respawned",
+            "poison_cells",
+        ):
+            self.counters[name] += stats.get(name, 0)
+        if stats.get("pooled"):
+            self.counters["pooled_batches"] += 1
         else:
             self.counters["inline_batches"] += 1
 
@@ -435,6 +463,23 @@ class ExperimentExecutor:
                 resolved[failure.key] = missing_cell_payload(pending[failure.key])
 
     # ------------------------------------------------------------------
+
+    def _sync_backend_degraded(self):
+        """Fold the cache's remote-failure tally into the counters (and
+        telemetry) once per batch."""
+        if self.cache is None:
+            return
+        delta = self.cache.backend_degraded - self.counters["backend_degraded"]
+        if delta <= 0:
+            return
+        self.counters["backend_degraded"] += delta
+        if self.telemetry is not None:
+            remote = self.cache.remote
+            self.telemetry.backend_degraded(
+                remote.describe() if remote is not None else "(injected)",
+                delta,
+                self.cache.degrade_error or "",
+            )
 
     def _materialize_faults(self, unique):
         """Resolve ``self.faults`` to a concrete plan for this batch."""
@@ -472,6 +517,7 @@ class ExperimentExecutor:
                 ("retries", "retried"),
                 ("timeouts", "timed out"),
                 ("crashes", "crashed"),
+                ("stalls", "stalled"),
                 ("quarantined", "quarantined"),
                 ("failed", "failed"),
             )
@@ -479,6 +525,19 @@ class ExperimentExecutor:
         ]
         if extras:
             line += "; resilience: " + ", ".join(extras)
+        pool_extras = [
+            "%d %s" % (self.counters[name], label)
+            for name, label in (
+                ("workers_spawned", "spawned"),
+                ("workers_respawned", "respawned"),
+                ("steals", "stolen"),
+                ("poison_cells", "poison"),
+                ("backend_degraded", "backend ops degraded"),
+            )
+            if self.counters[name]
+        ]
+        if pool_extras:
+            line += "; pool: " + ", ".join(pool_extras)
         if self.quarantine_reasons:
             line += "; quarantine: " + ", ".join(
                 "%d %s" % (count, reason)
@@ -487,4 +546,7 @@ class ExperimentExecutor:
         return line
 
     def __repr__(self):
-        return "ExperimentExecutor(jobs=%d, cache=%r)" % (self.jobs, self.cache)
+        return "ExperimentExecutor(workers=%d, cache=%r)" % (
+            self.workers,
+            self.cache,
+        )

@@ -14,10 +14,12 @@ them together; ``docs/resilience.md`` is the user-facing story):
   directory, addressed by the batch's content hash.  A killed run
   resumes with zero re-simulation of completed cells: their payloads
   are already in the result cache, and the journal proves which ones.
-* :func:`execute_resilient` -- the scheduler.  Inline when isolation is
-  unnecessary; otherwise one worker process per cell (at most ``jobs``
-  concurrent), which is what makes kill-on-timeout and crashed-worker
-  detection (dead process, torn result channel) possible at all.
+* :func:`execute_resilient` -- the scheduler facade.  Inline when
+  nothing requires a process boundary; otherwise the batch runs on the
+  supervised persistent worker pool (:mod:`repro.exec.pool`), which is
+  what makes kill-on-timeout, crashed-worker detection and respawn,
+  heartbeat-deadline stall recovery, and poison-cell quarantine
+  possible at all.
 * :func:`missing_cell_payload` -- the schema-correct zeroed payload a
   permanently-failed cell degrades to under ``allow_partial``; every
   breakdown reads 0 and ``stats["missing_cell"]`` marks it.
@@ -32,18 +34,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
-import queue as queue_module
 import time
-from collections import deque
 from dataclasses import dataclass
-from multiprocessing.process import BaseProcess
-from multiprocessing.queues import Queue as ProcessQueue
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
-    Deque,
     Dict,
     IO,
     List,
@@ -58,6 +55,9 @@ from repro.common.errors import InvariantViolation, ReproError
 from repro.exec.cells import PAYLOAD_SCHEMA, SimCell
 from repro.exec.faults import FaultPlan
 
+if TYPE_CHECKING:  # import cycle: pool imports this module at runtime
+    from repro.exec.pool import OnWorker, PoolConfig, WorkerContext
+
 Payload = Dict[str, Any]
 
 
@@ -71,14 +71,9 @@ def _is_terminal(error: str) -> bool:
     attempt.  Worker errors cross the process boundary as
     ``"TypeName: message"`` strings, hence the prefix check.
     """
-    return error.startswith(InvariantViolation.__name__)
-
-#: Seconds a zero-exit worker gets to flush its result channel before it
-#: is reclassified as crashed (covers the exit-before-drain race).
-_FLUSH_GRACE_SECONDS = 5.0
-
-#: Scheduler poll interval while waiting on worker processes.
-_POLL_SECONDS = 0.01
+    return error.startswith(
+        (InvariantViolation.__name__, "PoisonCell")
+    )
 
 
 class SweepAborted(ReproError):
@@ -113,14 +108,18 @@ class ResiliencePolicy:
     ``max_retries + 1`` times.  ``cell_timeout`` (seconds of wall clock
     per attempt) requires process isolation and kills the worker on
     expiry.  ``backoff_seconds`` sleeps ``attempt * backoff_seconds``
-    before retry *attempt*.  ``allow_partial`` degrades exhausted cells
-    to :func:`missing_cell_payload` instead of raising
+    before retry *attempt*.  ``heartbeat_timeout`` is the pool
+    supervisor's liveness deadline: a worker silent that long is killed
+    and respawned and its claim requeued (see
+    :mod:`repro.exec.pool`).  ``allow_partial`` degrades exhausted
+    cells to :func:`missing_cell_payload` instead of raising
     :class:`CellExecutionError`.
     """
 
     max_retries: int = 2
     cell_timeout: Optional[float] = None
     backoff_seconds: float = 0.0
+    heartbeat_timeout: float = 10.0
     allow_partial: bool = False
 
 
@@ -286,96 +285,80 @@ OnDone = Callable[[str, Payload, int], None]
 OnFailed = Callable[[CellFailure], None]
 #: ``run_inline(cell)`` -- simulate in this process, return the payload.
 RunInline = Callable[[SimCell], Payload]
-#: ``worker_args(cell, attempt, queue)`` -- args for the worker target.
-WorkerArgs = Callable[[SimCell, int, Any], Tuple[Any, ...]]
-
-
-#: Estimated cost of forking, importing, and tearing down one worker
-#: process.  Measured ~0.2-0.4s on CI runners; the exact value only
-#: moves the inline/isolated break-even point for tiny batches.
-SPAWN_OVERHEAD_SECONDS = 0.3
-
-#: Conservative throughput estimate used to price a cell before running
-#: it (records/sec of the scalar kernel on slow hardware).  Erring low
-#: biases toward isolation, which is always correct, just slower.
-EST_RECORDS_PER_SEC = 20000.0
-
-
-def estimate_cell_seconds(cell: SimCell) -> float:
-    """Rough wall-clock estimate for one cell (trace length x cores)."""
-    return cell.length * max(1, len(cell.workloads)) / EST_RECORDS_PER_SEC
 
 
 def needs_isolation(
-    jobs: int,
+    workers: int,
     policy: ResiliencePolicy,
     plan: Optional[FaultPlan],
     pending: Optional[Mapping[str, SimCell]] = None,
 ) -> bool:
-    """Whether cells must (or should) run in worker processes.
+    """Whether cells must (or may usefully) run on the worker pool.
 
-    A kill switch (timeouts) or kill faults *require* a process
-    boundary.  Parallelism merely *allows* one -- and at CI scale the
-    spawn overhead dwarfs per-cell work, which is how BENCH_perf.json
-    ended up with ``parallel_speedup < 1``.  With *pending* available,
-    the choice becomes a cost model: spawn only when the estimated
-    serial time exceeds the estimated parallel time including one spawn
-    per cell.  Without *pending* (legacy callers), any ``jobs > 1``
-    isolates, as before.
+    A kill switch (timeouts), kill faults, and heartbeat-stall faults
+    *require* a process boundary -- only the pool supervisor can kill a
+    hung worker or survive a dead one.  Parallelism (``workers > 1``)
+    merely benefits from one; since the persistent pool amortizes its
+    spawn cost over the whole batch, the old per-cell spawn cost model
+    (``SPAWN_OVERHEAD_SECONDS``) is retired and any multi-cell batch
+    with ``workers > 1`` runs pooled.
     """
     if policy.cell_timeout is not None:
         return True
-    if plan is not None and plan.has_kills():
+    if plan is not None and (plan.has_kills() or plan.has_stalls()):
         return True
-    if jobs <= 1:
+    if workers <= 1:
         return False
-    if pending is None:
-        return True
-    n = len(pending)
-    if n <= 1:
-        return False
-    per_cell = max(estimate_cell_seconds(cell) for cell in pending.values())
-    serial = n * per_cell
-    waves = -(-n // jobs)  # ceil
-    parallel = waves * (per_cell + SPAWN_OVERHEAD_SECONDS)
-    return parallel < serial
+    return pending is None or len(pending) > 1
 
 
 def execute_resilient(
     pending: Mapping[str, SimCell],
     *,
-    jobs: int,
+    workers: int,
     policy: ResiliencePolicy,
     plan: Optional[FaultPlan],
     run_inline: RunInline,
-    worker: Callable[..., None],
-    worker_args: WorkerArgs,
+    worker_context: Optional["WorkerContext"] = None,
+    pool: Optional["PoolConfig"] = None,
     on_state: OnState,
     on_done: OnDone,
     on_failed: OnFailed,
+    on_worker: Optional["OnWorker"] = None,
 ) -> Dict[str, int]:
     """Drive every pending cell to ``done`` or ``failed``.
 
     Results, journal entries, and cache writes happen through the hooks
     *as each cell completes*, so an abort (``SweepAborted``,
-    ``KeyboardInterrupt``) never loses finished work.  Returns scheduler
-    stats: ``retries``, ``timeouts``, ``crashes``, plus ``isolated``
-    (1 when worker processes were used, 0 for the inline path) so the
-    executor can record the chosen mode in its provenance.
+    ``KeyboardInterrupt``) never loses finished work.  Batches that
+    need a process boundary run on the supervised persistent pool
+    (:func:`repro.exec.pool.execute_pooled`, sized by *workers* unless
+    *pool* overrides it); everything else runs inline in this process.
+    Returns scheduler stats: ``retries``, ``timeouts``, ``crashes``,
+    the pool's supervision counters, plus ``pooled`` (1 when the pool
+    was used, 0 for the inline path) so the executor can record the
+    chosen mode in its provenance.
     """
-    if needs_isolation(jobs, policy, plan, pending):
-        stats = _execute_isolated(
+    if needs_isolation(workers, policy, plan, pending):
+        # Imported here: pool imports this module at import time, so the
+        # reverse edge must stay lazy to avoid a cycle.
+        from repro.exec.pool import PoolConfig, WorkerContext, execute_pooled
+
+        config = pool if pool is not None else PoolConfig(
+            workers=workers, heartbeat_timeout=policy.heartbeat_timeout
+        )
+        stats = execute_pooled(
             pending,
-            jobs=jobs,
             policy=policy,
             plan=plan,
-            worker=worker,
-            worker_args=worker_args,
+            config=config,
+            context=worker_context if worker_context is not None else WorkerContext(),
             on_state=on_state,
             on_done=on_done,
             on_failed=on_failed,
+            on_worker=on_worker,
         )
-        stats["isolated"] = 1
+        stats["pooled"] = 1
         return stats
     stats = _execute_inline(
         pending,
@@ -386,7 +369,7 @@ def execute_resilient(
         on_done=on_done,
         on_failed=on_failed,
     )
-    stats["isolated"] = 0
+    stats["pooled"] = 0
     return stats
 
 
@@ -452,161 +435,4 @@ def _execute_inline(
             completed += 1
             _check_abort(plan, completed, len(pending))
             break
-    return stats
-
-
-class _Running:
-    """Bookkeeping for one in-flight worker process."""
-
-    __slots__ = ("process", "channel", "deadline", "attempt", "dead_since")
-
-    def __init__(
-        self,
-        process: BaseProcess,
-        channel: ProcessQueue[Any],
-        deadline: Optional[float],
-        attempt: int,
-    ) -> None:
-        self.process = process
-        self.channel = channel
-        self.deadline = deadline
-        self.attempt = attempt
-        self.dead_since: Optional[float] = None
-
-
-def _reap(entry: _Running) -> None:
-    """Tear one worker down, forcefully if needed."""
-    process = entry.process
-    if process.is_alive():
-        process.terminate()
-        process.join(1.0)
-        if process.is_alive():
-            process.kill()
-            process.join(1.0)
-    else:
-        process.join(0.1)
-    entry.channel.close()
-
-
-def _execute_isolated(
-    pending: Mapping[str, SimCell],
-    *,
-    jobs: int,
-    policy: ResiliencePolicy,
-    plan: Optional[FaultPlan],
-    worker: Callable[..., None],
-    worker_args: WorkerArgs,
-    on_state: OnState,
-    on_done: OnDone,
-    on_failed: OnFailed,
-) -> Dict[str, int]:
-    """One worker process per cell, at most *jobs* concurrent.
-
-    Per-cell isolation is what buys the hard guarantees: a timeout
-    kills exactly one worker, a crashed worker (non-zero exit, kill
-    fault, OOM) is detected from its exit code instead of hanging the
-    batch, and each cell has a private result channel so a torn write
-    can never corrupt a sibling's result.
-    """
-    stats = {"retries": 0, "timeouts": 0, "crashes": 0}
-    context = multiprocessing.get_context()
-    waiting: Deque[str] = deque(pending)
-    attempts: Dict[str, int] = {key: 0 for key in pending}
-    retry_at: List[Tuple[float, str]] = []
-    running: Dict[str, _Running] = {}
-    finished: Set[str] = set()
-    completed = 0
-    total = len(pending)
-
-    def retry_or_fail(key: str, error: str) -> None:
-        attempts[key] += 1
-        if attempts[key] > policy.max_retries or _is_terminal(error):
-            on_failed(
-                CellFailure(
-                    key, "+".join(pending[key].workloads), attempts[key], error
-                )
-            )
-            finished.add(key)
-            return
-        stats["retries"] += 1
-        on_state(key, "pending", attempts[key], "retrying: %s" % error)
-        retry_at.append(
-            (time.monotonic() + policy.backoff_seconds * attempts[key], key)
-        )
-
-    try:
-        while len(finished) < total:
-            now = time.monotonic()
-            for due, key in list(retry_at):
-                if due <= now:
-                    retry_at.remove((due, key))
-                    waiting.append(key)
-            while waiting and len(running) < jobs:
-                key = waiting.popleft()
-                attempt = attempts[key]
-                channel: ProcessQueue[Any] = context.Queue()
-                process = context.Process(
-                    target=worker, args=worker_args(pending[key], attempt, channel)
-                )
-                process.daemon = True
-                process.start()
-                on_state(key, "running", attempt, "")
-                deadline = (
-                    now + policy.cell_timeout
-                    if policy.cell_timeout is not None
-                    else None
-                )
-                running[key] = _Running(process, channel, deadline, attempt)
-            progressed = False
-            for key, entry in list(running.items()):
-                message: Optional[Tuple[str, str, Any]] = None
-                try:
-                    message = entry.channel.get_nowait()
-                except queue_module.Empty:
-                    pass
-                now = time.monotonic()
-                if message is not None:
-                    del running[key]
-                    _reap(entry)
-                    _, status, body = message
-                    if status == "ok":
-                        on_done(key, body, entry.attempt)
-                        finished.add(key)
-                        completed += 1
-                        _check_abort(plan, completed, total)
-                    else:
-                        retry_or_fail(key, str(body))
-                    progressed = True
-                elif entry.deadline is not None and now > entry.deadline:
-                    del running[key]
-                    _reap(entry)
-                    stats["timeouts"] += 1
-                    retry_or_fail(
-                        key, "timed out after %.1fs" % (policy.cell_timeout or 0.0)
-                    )
-                    progressed = True
-                elif not entry.process.is_alive():
-                    code = entry.process.exitcode
-                    if code == 0:
-                        # Exited cleanly; the result is still flushing
-                        # through the channel.  Give it a grace window.
-                        if entry.dead_since is None:
-                            entry.dead_since = now
-                        elif now - entry.dead_since > _FLUSH_GRACE_SECONDS:
-                            del running[key]
-                            _reap(entry)
-                            stats["crashes"] += 1
-                            retry_or_fail(key, "worker exited without a result")
-                            progressed = True
-                    else:
-                        del running[key]
-                        _reap(entry)
-                        stats["crashes"] += 1
-                        retry_or_fail(key, "worker crashed (exit %s)" % code)
-                        progressed = True
-            if not progressed:
-                time.sleep(_POLL_SECONDS)
-    finally:
-        for entry in running.values():
-            _reap(entry)
     return stats

@@ -98,6 +98,25 @@ class TelemetryLog:
     def quarantine(self, key: str, reason: str) -> None:
         self._emit("quarantine", {"key": key, "reason": reason})
 
+    # -- pool fabric events ---------------------------------------------
+
+    def worker_event(self, action: str, worker_id: int, info: str = "") -> None:
+        """A pool-worker lifecycle event (``spawned`` / ``respawned`` /
+        ``crashed`` / ``stalled`` / ``poison``); *info* carries the exit
+        code or the cell key prefix involved."""
+        fields: Dict[str, Any] = {"action": action, "worker": worker_id}
+        if info:
+            fields["info"] = str(info)
+        self._emit("worker", fields)
+
+    def backend_degraded(self, backend: str, failures: int, error: str) -> None:
+        """The remote cache backend failed *failures* operation(s) and
+        the cache degraded to its local tier."""
+        self._emit(
+            "backend_degraded",
+            {"backend": backend, "failures": failures, "error": error},
+        )
+
     # -------------------------------------------------------------------
 
     def close(self) -> None:

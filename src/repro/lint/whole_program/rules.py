@@ -40,12 +40,14 @@ PURITY_ALLOWLIST = ("repro.obs.", "repro.common.rng")
 CELL_ROOT_NAMES = ("simulate_cell",)
 
 #: Executor entry points for SL014 (beyond everything defined in the
-#: ``repro.exec`` package itself).
+#: ``repro.exec`` package itself).  ``_pool_worker`` is the persistent
+#: pool-worker main loop -- the spawn site every pooled cell runs under.
 EXECUTOR_ROOT_NAMES = (
     "run_cells",
     "execute_resilient",
+    "execute_pooled",
     "simulate_cell",
-    "_resilience_worker",
+    "_pool_worker",
 )
 
 #: Fact kinds SL012 reports, with readable labels.

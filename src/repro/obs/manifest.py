@@ -39,7 +39,7 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
     rows: List[Tuple[str, str]] = [
         (
             "executor",
-            "jobs=%d; %d simulated, %d cache hits, %d memo hits, %d deduplicated"
+            "workers=%d; %d simulated, %d cache hits, %d memo hits, %d deduplicated"
             % (
                 executor.jobs,
                 counters.get("simulated", 0),
@@ -56,6 +56,7 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
             ("retries", "retried"),
             ("timeouts", "timed out"),
             ("crashes", "crashed workers"),
+            ("stalls", "stalled workers"),
             ("quarantined", "quarantined entries"),
             ("failed", "failed cells"),
         )
@@ -63,11 +64,35 @@ def executor_provenance(executor: Any) -> List[Tuple[str, str]]:
     ]
     if resilience:
         rows.append(("resilience", ", ".join(resilience)))
+    pool = [
+        "%d %s" % (counters.get(name, 0), label)
+        for name, label in (
+            ("workers_spawned", "spawned"),
+            ("workers_respawned", "respawned"),
+            ("steals", "stolen cells"),
+            ("poison_cells", "poison cells"),
+        )
+        if counters.get(name, 0)
+    ]
+    if pool:
+        rows.append(("pool", ", ".join(pool)))
+    cache = getattr(executor, "cache", None)
+    remote = getattr(cache, "remote", None)
+    if remote is not None or counters.get("backend_degraded", 0):
+        backend = remote.describe() if remote is not None else "(injected outage)"
+        detail = backend
+        degraded = counters.get("backend_degraded", 0)
+        if degraded:
+            detail += "; %d ops degraded to local tier" % degraded
+            reason = getattr(cache, "degrade_error", None)
+            if reason:
+                detail += " (%s)" % reason
+        rows.append(("cache-backend", detail))
     modes = [
         "%d %s" % (counters.get(name, 0), label)
         for name, label in (
             ("inline_batches", "inline"),
-            ("isolated_batches", "worker-isolated"),
+            ("pooled_batches", "pooled"),
         )
         if counters.get(name, 0)
     ]

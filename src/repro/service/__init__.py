@@ -56,14 +56,19 @@ def build_service(
     check_invariants: Optional[str] = None,
     max_retries: int = 2,
     cell_timeout: Optional[float] = None,
+    heartbeat_timeout: float = 10.0,
     allow_partial: bool = False,
     faults: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> SweepService:
     """One call from CLI flags (or test kwargs) to a ready service.
 
-    The executor is created with ``resume=True`` -- the service always
-    trusts checkpoint journals, which is exactly what makes a restarted
-    server pick a killed sweep back up where it stopped.
+    ``workers`` sizes the persistent pool each job's cells fan out
+    across (``jobs`` is its legacy alias; when both are given,
+    ``workers`` wins).  The executor is created with ``resume=True`` --
+    the service always trusts checkpoint journals, which is exactly
+    what makes a restarted server pick a killed sweep back up where it
+    stopped.
     """
     from repro.exec import (
         ExperimentExecutor,
@@ -76,10 +81,12 @@ def build_service(
     root = cache_dir or default_cache_dir()
     executor = ExperimentExecutor(
         jobs=jobs,
+        workers=workers,
         cache=ResultCache(root),
         resilience=ResiliencePolicy(
             max_retries=max_retries,
             cell_timeout=cell_timeout,
+            heartbeat_timeout=heartbeat_timeout,
             allow_partial=allow_partial,
         ),
         faults=FaultSpec.parse(faults) if faults else None,

@@ -18,6 +18,8 @@ Endpoints (see ``docs/service.md`` for the full reference)::
     GET  /api/health             liveness + job/executor/cache stats
     GET  /api/figures            submittable figure & ablation ids
     GET  /api/cache              content-addressed cache entry counts
+    GET  /api/cache/{key}        one result payload by cell key
+    PUT  /api/cache/{key}        store one result payload (replication)
     POST /api/jobs               submit a job spec -> 202 + job record
     GET  /api/jobs               all jobs, oldest first
     GET  /api/jobs/{id}          one job's state + per-job counters
@@ -37,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -50,11 +53,16 @@ from typing import (
     Union,
 )
 
+from repro.exec.backend import LocalDirBackend
 from repro.service.jobs import Job, JobRunner, JobStore
 from repro.service.wire import WireError, driver_catalog, parse_job_spec, service_envelope
 
 #: Largest request body the server reads, in bytes.
 MAX_BODY_BYTES = 1 << 20
+
+#: Cache keys are SHA-256 content addresses -- anything else is
+#: rejected before it can touch the filesystem.
+_CACHE_KEY_RE = re.compile(r"[0-9a-f]{64}")
 
 #: How often stream handlers poll for new telemetry lines / job state.
 STREAM_POLL_SECONDS = 0.05
@@ -92,6 +100,8 @@ ROUTES: Tuple[Route, ...] = (
     Route("GET", "/api/health", "health"),
     Route("GET", "/api/figures", "figures"),
     Route("GET", "/api/cache", "cache"),
+    Route("GET", "/api/cache/{key}", "cache_get"),
+    Route("PUT", "/api/cache/{key}", "cache_put"),
     Route("POST", "/api/jobs", "submit"),
     Route("GET", "/api/jobs", "jobs"),
     Route("GET", "/api/jobs/{id}", "job"),
@@ -140,6 +150,7 @@ class EventStream:
 
 _STATUS_TEXT = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
@@ -291,6 +302,64 @@ class SweepService:
         if cache is None:
             return Response(200, {"root": None, "entries": {}})
         return Response(200, {"root": cache.root, "entries": cache.stats()})
+
+    def _cache_backend_or_error(
+        self, params: Dict[str, str]
+    ) -> Union[Tuple[str, "LocalDirBackend"], Response]:
+        """Validate the ``{key}`` segment and resolve the server's local
+        cache tier (never its own remote -- a cache server must not
+        recurse into another cache server)."""
+        key = params["key"]
+        if not _CACHE_KEY_RE.fullmatch(key):
+            return self._error(
+                400,
+                "cache key must be 64 lowercase hex chars (a SHA-256 cell key)",
+                {"key": key[:80]},
+            )
+        cache = self.runner.executor.cache
+        if cache is None:
+            return self._error(
+                404, "this server runs without a result cache", {"key": key[:12]}
+            )
+        return key, LocalDirBackend(cache.root)
+
+    async def _handle_cache_get(
+        self, params: Dict[str, str], body: bytes
+    ) -> Response:
+        resolved = self._cache_backend_or_error(params)
+        if isinstance(resolved, Response):
+            return resolved
+        key, backend = resolved
+        payload, status = backend.get_entry(key)
+        if payload is None:
+            # Misses and corrupt entries look identical to remote
+            # clients: re-simulate.  (The owning executor quarantines
+            # corrupt entries through its own cache path.)
+            return self._error(
+                404, "no cache entry for %s" % key[:12],
+                {"key": key[:12], "status": status},
+            )
+        return Response(200, {"key": key, "payload": payload})
+
+    async def _handle_cache_put(
+        self, params: Dict[str, str], body: bytes
+    ) -> Response:
+        resolved = self._cache_backend_or_error(params)
+        if isinstance(resolved, Response):
+            return resolved
+        key, backend = resolved
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return self._error(400, "request body is not valid JSON", {})
+        if not isinstance(payload, dict):
+            return self._error(
+                400,
+                "cache payload must be a JSON object",
+                {"key": key[:12], "got": type(payload).__name__},
+            )
+        backend.put(key, payload)
+        return Response(201, {"key": key, "stored": True})
 
     async def _handle_submit(
         self, params: Dict[str, str], body: bytes

@@ -99,7 +99,7 @@ class ServiceClient:
                 raise ServiceError(
                     response.status,
                     str(payload.get("error", "request failed")),
-                    payload.get("context"),
+                    context=payload.get("context"),
                 )
             return payload
         finally:
@@ -113,11 +113,13 @@ class ServiceClient:
             raise ServiceError(
                 status,
                 "response body is not JSON",
-                {"body_prefix": raw[:120].decode("utf-8", "replace")},
+                context={"body_prefix": raw[:120].decode("utf-8", "replace")},
             )
         if not isinstance(payload, dict):
             raise ServiceError(
-                status, "response body is not a JSON object", {"got": str(type(payload))}
+                status,
+                "response body is not a JSON object",
+                context={"got": str(type(payload))},
             )
         return payload
 
@@ -131,6 +133,22 @@ class ServiceClient:
 
     def cache(self) -> Dict[str, Any]:
         return self._request("GET", "/api/cache")
+
+    def cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        """One result payload by its SHA-256 cell key, or ``None`` on a
+        miss (the same shape :class:`~repro.exec.HTTPBackend` reads)."""
+        try:
+            document = self._request("GET", "/api/cache/%s" % key)
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        payload = document.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def cache_put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Replicate one result payload into the server's cache."""
+        self._request("PUT", "/api/cache/%s" % key, body=payload)
 
     def submit(
         self,
@@ -184,7 +202,7 @@ class ServiceClient:
                 raise ServiceError(
                     408,
                     "job %s still %s after %.1fs" % (job_id, view.state, timeout),
-                    {"job": job_id, "state": view.state},
+                    context={"job": job_id, "state": view.state},
                 )
             time.sleep(poll)
 
@@ -209,7 +227,7 @@ class ServiceClient:
                 raise ServiceError(
                     response.status,
                     str(payload.get("error", "request failed")),
-                    payload.get("context"),
+                    context=payload.get("context"),
                 )
             while True:
                 line = response.readline()

@@ -78,11 +78,32 @@ def test_schema3_history_compacts_batch_speedups():
     assert entry["max_batch_speedup"] == 1.2
 
 
+def test_pre_pool_history_compacts_without_pool_speedups():
+    """Schema <= 3 figure rows recorded ``parallel_speedup`` from the
+    retired per-cell-spawn executor; compaction must not invent a pool
+    number for them."""
+    data = payload("1.1.0")
+    data["figures"]["fig01"]["parallel_speedup"] = 0.8
+    entry = _trajectory_entry(data)
+    assert "pool_speedups" not in entry
+    assert entry["warm_cache_speedups"] == {"fig01": 10.0}
+
+
+def test_schema4_history_compacts_pool_speedups():
+    data = payload("1.2.0")
+    data["schema"] = 4
+    data["figures"]["fig01"]["pool_speedup"] = 1.7
+    entry = _trajectory_entry(data)
+    assert entry["pool_speedups"] == {"fig01": 1.7}
+
+
 def test_committed_artifact_has_a_trajectory():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     with open(os.path.join(root, "BENCH_perf.json")) as stream:
         committed = json.load(stream)
-    assert committed["schema"] == 3
+    assert committed["schema"] == 4
+    for row in committed["figures"].values():
+        assert row["pool_speedup"] is not None
     assert isinstance(committed["trajectory"], list)
     assert committed["trajectory"], "committed BENCH_perf.json has an empty trajectory"
     for name, row in committed["workloads"].items():

@@ -174,25 +174,30 @@ def test_executor_threads_kernel_into_cells():
     assert comparable(batch) == comparable(scalar)
 
 
-def test_needs_isolation_cost_model():
-    """Tiny batches run inline (spawn overhead dominates); big ones
-    isolate.  Kill switches always force isolation."""
+def test_needs_isolation_routing():
+    """The persistent pool amortizes spawn cost, so any multi-cell batch
+    with workers > 1 pools; single cells and workers=1 stay inline, and
+    kill/stall faults or a cell timeout always force the pool."""
     config = default_system_config()
     policy = ResiliencePolicy()
-    small = {
+    several = {
         str(index): SimCell("btree", config, 800, seed=index)
         for index in range(4)
     }
-    big = {
-        str(index): SimCell("btree", config, 200000, seed=index)
-        for index in range(4)
-    }
-    assert not needs_isolation(4, policy, None, pending=small)
-    assert needs_isolation(4, policy, None, pending=big)
-    # jobs=1 never isolates; a cell timeout always does.
-    assert not needs_isolation(1, policy, None, pending=big)
+    one = {"0": SimCell("btree", config, 800, seed=0)}
+    assert needs_isolation(4, policy, None, pending=several)
+    assert not needs_isolation(4, policy, None, pending=one)
+    # workers=1 never pools on its own; a cell timeout always does.
+    assert not needs_isolation(1, policy, None, pending=several)
     timeout_policy = ResiliencePolicy(cell_timeout=5.0)
-    assert needs_isolation(1, timeout_policy, None, pending=small)
+    assert needs_isolation(1, timeout_policy, None, pending=one)
+    # Kill and stall faults need a killable process regardless of size.
+    from repro.exec.faults import FaultPlan
+
+    kills = FaultPlan(kill={"0": (0,)})
+    stalls = FaultPlan(stall={"0": (0,)})
+    assert needs_isolation(1, policy, kills, pending=one)
+    assert needs_isolation(1, policy, stalls, pending=one)
 
 
 def test_cli_kernel_flag():

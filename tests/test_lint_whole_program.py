@@ -174,6 +174,29 @@ def test_sl011_good_worker_is_silent(tmp_path):
     assert findings == []
 
 
+def test_sl011_covers_pool_context_spawn(tmp_path):
+    """The persistent pool spawns through ``get_context().Process``; the
+    rules must resolve that spawn site's target as a worker root too."""
+    findings = wp_lint(
+        tmp_path,
+        {
+            "repro/exec/snippet.py": (
+                "import multiprocessing\n"
+                "DEATHS = {}\n"
+                "def _pool_worker(worker_id, tasks, channel):\n"
+                "    DEATHS[worker_id] = 1\n"
+                "def execute_pooled():\n"
+                "    ctx = multiprocessing.get_context()\n"
+                "    proc = ctx.Process(target=_pool_worker, args=(0, 1, 2))\n"
+                "    proc.start()\n"
+            )
+        },
+        only="SL011",
+    )
+    assert rule_ids(findings) == ["SL011"]
+    assert "reachable from worker entry point" in findings[0].message
+
+
 # ----------------------------------------------------------------------
 # SL012 interprocedural-cell-purity
 

@@ -1,0 +1,398 @@
+"""Chaos tests for the supervised worker-pool fabric and the pluggable
+cache backend (docs/distribution.md).
+
+The contract under test is bit-identity: cells are pure functions of
+their identity, so a pooled sweep riddled with injected worker kills,
+heartbeat stalls, and cache outages must produce results identical to a
+fault-free serial run -- the faults may only show up in the counters.
+
+Layers, cheapest first:
+
+* executor-level chaos sweeps (worker_kill + heartbeat_stall) against a
+  serial reference;
+* the poison-cell guard: a cell that kills consecutive workers is
+  quarantined with evidence instead of grinding the pool down;
+* supervisor death: SIGKILL the whole ``repro experiment`` process
+  mid-sweep, then ``--resume`` and require zero lost work;
+* the cache-backend tier: HTTP round-trip against a live ``repro
+  serve``, graceful local degradation on outage, and the deterministic
+  ``cache_unavailable`` fault.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.exec import (
+    ExperimentExecutor,
+    FaultPlan,
+    FaultSpec,
+    HTTPBackend,
+    PoolConfig,
+    ResiliencePolicy,
+    ResultCache,
+    TelemetryLog,
+)
+from repro.exec.backend import CacheBackendError
+from repro.exec.cells import SimCell
+from repro.exec.serialize import result_to_payload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CHAOS_WORKLOADS = ("xsbench", "mcf", "lsh", "canneal", "spmv", "graph500")
+
+
+def _cells(length=600, workloads=CHAOS_WORKLOADS):
+    return [SimCell(wl, SystemConfig(), length=length, seed=0) for wl in workloads]
+
+
+def _comparable(result):
+    """A result's payload with host-timing noise stripped: the exact
+    bit-identity surface (everything except ``manifest.timing.*``)."""
+    payload = json.loads(json.dumps(result_to_payload(result)))
+    payload["stats"] = {
+        key: value
+        for key, value in payload["stats"].items()
+        if not key.startswith("manifest.timing")
+    }
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# chaos sweep: worker kills + heartbeat stalls vs a fault-free serial run
+
+
+def test_chaos_pool_sweep_bit_identical_to_serial(tmp_path):
+    cells = _cells()
+    serial = ExperimentExecutor(workers=1)
+    reference = [_comparable(r) for r in serial.run_cells(cells)]
+
+    spec = FaultSpec.parse(
+        "seed=5,worker_kill=0.5,heartbeat_stall=0.3,stall-seconds=5"
+    )
+    plan = spec.materialize([cell.key() for cell in cells])
+    # Seed 5 over these six cells draws both fault kinds, disjointly --
+    # the accounting below relies on that.
+    assert plan.kill and plan.stall
+    assert not set(plan.kill) & set(plan.stall)
+
+    telemetry_path = str(tmp_path / "chaos.jsonl")
+    chaotic = ExperimentExecutor(
+        workers=3,
+        faults=spec,
+        resilience=ResiliencePolicy(heartbeat_timeout=0.6),
+        telemetry=TelemetryLog(telemetry_path),
+    )
+    results = [_comparable(r) for r in chaotic.run_cells(cells)]
+    chaotic.telemetry.close()
+
+    assert results == reference
+    counters = chaotic.counters
+    assert counters["crashes"] == len(plan.kill)
+    assert counters["stalls"] == len(plan.stall)
+    assert counters["retries"] == len(plan.kill) + len(plan.stall)
+    assert counters["workers_respawned"] == counters["retries"]
+    assert counters["workers_spawned"] == 3 + counters["workers_respawned"]
+    assert counters["simulated"] == len(cells)
+    assert counters["failed"] == 0 and counters["poison_cells"] == 0
+
+    events = [json.loads(line) for line in open(telemetry_path)]
+    worker_events = [e for e in events if e["event"] == "worker"]
+    actions = [e["action"] for e in worker_events]
+    assert actions.count("spawned") == 3
+    assert actions.count("respawned") == counters["workers_respawned"]
+    assert actions.count("crashed") >= len(plan.kill)
+    assert actions.count("stalled") == len(plan.stall)
+    # Additive events only: the telemetry schema did not change.
+    assert {e["schema"] for e in events} == {1}
+
+
+def test_pool_reports_steals_and_beats_spawn_per_cell(tmp_path):
+    """Work stealing falls out of the shared queue: pin whichever worker
+    claims the first cell with a delay fault, and the other worker must
+    steal at least one cell homed to it."""
+    cells = _cells(length=400, workloads=("xsbench", "mcf", "lsh", "canneal"))
+    plan = FaultPlan(delay={cells[0].key(): ((0, 0.5),)})
+    pooled = ExperimentExecutor(
+        workers=2, cache=ResultCache(str(tmp_path)), faults=plan
+    )
+    results = pooled.run_cells(cells)
+    assert len(results) == len(cells)
+    assert pooled.counters["pooled_batches"] == 1
+    assert pooled.counters["workers_spawned"] == 2
+    # Cells are homed round-robin (0->w0, 1->w1, 2->w0, 3->w1).  With
+    # one worker stuck on cell 0 for 0.5s, the free worker claims the
+    # rest -- at least one of which is homed to the stuck worker.
+    assert pooled.counters["steals"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# poison cells
+
+
+def test_poison_cell_quarantined_with_evidence(tmp_path):
+    cells = _cells(length=400, workloads=("xsbench", "mcf"))
+    poison_key = cells[0].key()
+    plan = FaultPlan(kill={poison_key: (0, 1, 2)})
+    executor = ExperimentExecutor(
+        workers=2,
+        cache=ResultCache(str(tmp_path)),
+        faults=plan,
+        resilience=ResiliencePolicy(allow_partial=True, heartbeat_timeout=5.0),
+        pool=PoolConfig(workers=2, poison_threshold=2),
+    )
+    results = executor.run_cells(cells)
+
+    assert executor.counters["poison_cells"] == 1
+    assert executor.counters["failed"] == 1
+    assert executor.counters["simulated"] == 1  # the healthy cell
+    assert executor.quarantine_reasons == {"poison-cell": 1}
+    [failure] = executor.failed_cells
+    assert failure.key == poison_key
+    assert failure.error.startswith("PoisonCell")
+
+    evidence_path = os.path.join(
+        str(tmp_path),
+        "quarantine",
+        poison_key[:2],
+        "%s.poison-cell.evidence.json" % poison_key,
+    )
+    evidence = json.load(open(evidence_path))
+    assert evidence["key"] == poison_key
+    assert "killed 2 consecutive worker(s)" in evidence["error"]
+
+    # The degraded stand-in is explicitly marked, the healthy cell real.
+    assert results[0].stats.get("missing_cell") == 1
+    assert "missing_cell" not in results[1].stats
+
+
+# ---------------------------------------------------------------------------
+# supervisor death: kill -9 the whole sweep, then --resume
+
+
+def _run_cli(argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src")),
+        **kwargs,
+    )
+
+
+def _table_lines(output):
+    """The experiment table: everything before the executor summary."""
+    lines = output.splitlines()
+    return [line for line in lines if not line.startswith(("executor:", "warning:"))]
+
+
+def test_sigkill_supervisor_then_resume_is_bit_identical(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    telemetry = str(tmp_path / "t.jsonl")
+    argv = [
+        "experiment", "fig01",
+        "--length", "6000",
+        "--workloads", "xsbench", "mcf",
+        "--workers", "2",
+        "--cache-dir", cache_dir,
+    ]
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + argv + ["--telemetry", telemetry],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src")),
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            try:
+                with open(telemetry) as stream:
+                    if any('"event": "cell_done"' in line for line in stream):
+                        break
+            except FileNotFoundError:
+                pass
+            if process.poll() is not None:
+                raise AssertionError(
+                    "sweep finished before it could be killed; "
+                    "raise --length"
+                )
+            time.sleep(0.01)
+        else:
+            raise AssertionError("no cell_done before the kill deadline")
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    resumed = _run_cli(argv + ["--resume"], timeout=300)
+    assert resumed.returncode == 0, resumed.stdout
+    assert "resumed" in resumed.stdout
+
+    reference = _run_cli(
+        [
+            "experiment", "fig01",
+            "--length", "6000",
+            "--workloads", "xsbench", "mcf",
+            "--cache-dir", str(tmp_path / "ref-cache"),
+        ],
+        timeout=300,
+    )
+    assert reference.returncode == 0, reference.stdout
+    assert _table_lines(resumed.stdout) == _table_lines(reference.stdout)
+
+
+def test_pool_abort_then_resume_recovers_without_resimulation(tmp_path):
+    """The deterministic stand-in for the SIGKILL test: abort the pooled
+    sweep after 2 completions, resume, and require the journaled cells
+    to come back from the checkpoint -- not a re-simulation."""
+    from repro.exec import SweepAborted
+
+    cells = _cells(length=400, workloads=("xsbench", "mcf", "lsh", "canneal"))
+    cache_root = str(tmp_path / "cache")
+    aborted = ExperimentExecutor(
+        workers=2,
+        cache=ResultCache(cache_root),
+        faults=FaultPlan(abort_after=2),
+    )
+    with pytest.raises(SweepAborted):
+        aborted.run_cells(cells)
+
+    resumed = ExperimentExecutor(
+        workers=2, cache=ResultCache(cache_root), resume=True
+    )
+    results = [_comparable(r) for r in resumed.run_cells(cells)]
+    assert resumed.counters["resumed"] >= 2
+    assert resumed.counters["simulated"] + resumed.counters["resumed"] == len(cells)
+
+    serial = ExperimentExecutor(workers=1)
+    assert results == [_comparable(r) for r in serial.run_cells(cells)]
+
+
+# ---------------------------------------------------------------------------
+# cache backend: live round-trip, outage degradation, injected outage
+
+
+@pytest.fixture(scope="module")
+def cache_server(tmp_path_factory):
+    """One live sweep service for backend round-trips."""
+    from repro.service import build_service
+    from repro.service.client import ServiceClient
+
+    cache_dir = str(tmp_path_factory.mktemp("backend-cache"))
+    service = build_service(cache_dir=cache_dir)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=service.run,
+        args=("127.0.0.1", 0),
+        kwargs={"announce": lambda host, port: ready.set()},
+    )
+    thread.start()
+    assert ready.wait(timeout=30), "server never announced its port"
+    yield ServiceClient("127.0.0.1", service.port), service, cache_dir
+    service.shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_http_backend_round_trip_against_live_service(cache_server, tmp_path):
+    client, service, _ = cache_server
+    key = "ab" * 32
+    payload = {"schema": 2, "stats": {"answer": 42}}
+
+    backend = HTTPBackend("127.0.0.1:%d" % service.port)
+    assert backend.get_entry(key) == (None, "miss")
+    backend.put(key, payload)
+    assert backend.get_entry(key) == (payload, "hit")
+
+    # The typed client speaks the same route pair.
+    assert client.cache_get("cd" * 32) is None
+    client.cache_put("cd" * 32, payload)
+    assert client.cache_get("cd" * 32) == payload
+
+    # A local cache with this remote fills misses over HTTP and
+    # replicates the hit into its local tier.
+    cache = ResultCache(str(tmp_path / "tier"), remote=backend)
+    got, status = cache.get_entry(key)
+    assert (got, status) == (payload, "hit")
+    assert not cache.degraded
+    local_only = ResultCache(str(tmp_path / "tier"))
+    assert local_only.get(key) == payload
+
+
+def test_cache_key_validation_guards_the_route(cache_server):
+    from repro.service.client import ServiceError
+
+    client, _, _ = cache_server
+    # Traversal cannot even address the route (multi-segment -> 404,
+    # which the client reports as a miss); single-segment non-keys are
+    # rejected by the 64-hex validation before touching the filesystem.
+    assert client.cache_get("../../etc/passwd") is None
+    with pytest.raises(ServiceError) as excinfo:
+        client.cache_get("passwd")
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceError) as excinfo:
+        client.cache_put("AB" * 32, {"schema": 2})
+    assert excinfo.value.status == 400
+
+
+def test_http_backend_outage_degrades_to_local(tmp_path):
+    dead = HTTPBackend(
+        "127.0.0.1:9", timeout=0.2, retries=0, backoff_seconds=0.0
+    )
+    with pytest.raises(CacheBackendError):
+        dead.get_entry("ab" * 32)
+
+    cells = _cells(length=400, workloads=("xsbench", "mcf"))
+    telemetry_path = str(tmp_path / "outage.jsonl")
+    executor = ExperimentExecutor(
+        workers=1,
+        cache=ResultCache(str(tmp_path / "cache"), remote=dead),
+        telemetry=TelemetryLog(telemetry_path),
+    )
+    results = executor.run_cells(cells)
+    executor.telemetry.close()
+
+    # The sweep is unharmed; the first remote failure degraded the
+    # cache to its local tier for the rest of the run (sticky).
+    assert len(results) == len(cells)
+    assert executor.cache.degraded
+    assert executor.counters["backend_degraded"] >= 1
+    assert "backend ops degraded" in executor.summary()
+    events = [json.loads(line) for line in open(telemetry_path)]
+    degraded = [e for e in events if e["event"] == "backend_degraded"]
+    assert degraded and degraded[0]["backend"] == "http://127.0.0.1:9"
+
+    # Every result landed locally despite the dead remote.
+    local = ResultCache(str(tmp_path / "cache"))
+    for cell in cells:
+        assert local.get(cell.key()) is not None
+
+
+def test_cache_unavailable_fault_degrades_without_a_server(tmp_path):
+    cells = _cells(length=400, workloads=("xsbench", "mcf"))
+    # The remote would fail if ever touched; the injected fault must
+    # fire first, so the port is never dialled.
+    executor = ExperimentExecutor(
+        workers=1,
+        cache=ResultCache(
+            str(tmp_path),
+            remote=HTTPBackend("127.0.0.1:9", timeout=0.2, retries=0),
+        ),
+        faults=FaultSpec.parse("seed=0,cache_unavailable=1.0"),
+    )
+    results = executor.run_cells(cells)
+    assert len(results) == len(cells)
+    assert executor.cache.degraded
+    assert executor.cache.degrade_error == "injected cache_unavailable fault"
+    assert executor.counters["backend_degraded"] >= 1

@@ -10,17 +10,20 @@ Two measurements, written to ``BENCH_perf.json`` at the repo root:
   and the ``batch_speedup`` ratio isolates the batch kernel's effect
   (:mod:`repro.sim.kernel`).
 * **wall-clock per figure** -- each benched figure driver run three
-  ways: serial with no cache (the pre-executor behaviour), parallel
-  (``--jobs``) into a cold cache, and serially against that now-warm
-  cache.  The ratios are the executor's measured speedups.
+  ways: serial with no cache (the pre-executor behaviour), through the
+  persistent worker pool (``--workers``) into a cold cache, and
+  serially against that now-warm cache.  ``pool_speedup`` is the
+  pool's measured win over serial now that workers amortize their
+  interpreter start across the whole queue instead of paying it per
+  cell (the retired ``SPAWN_OVERHEAD_SECONDS`` cost model).
 
 Keep ``--length`` small: the point is a repeatable trajectory across
 PRs, not report-quality statistics.  Each run carries the history
 forward: the previous file's ``trajectory`` list plus a compact entry
 for the previous run itself are re-embedded in the new file (newest
 last, capped), so the committed artifact accumulates a cross-PR record
-as long as every refresh uses the same ``--length``/``--jobs`` the CI
-perf-smoke job uses.
+as long as every refresh uses the same ``--length``/``--workers`` the
+CI perf-smoke job uses.
 """
 
 import argparse
@@ -88,22 +91,22 @@ def _time_driver(driver, length, executor):
     return time.perf_counter() - started
 
 
-def bench_figures(figures, length, jobs, cache_root):
-    """Serial / parallel-cold-cache / warm-cache wall-clock per figure."""
+def bench_figures(figures, length, workers, cache_root):
+    """Serial / pool-cold-cache / warm-cache wall-clock per figure."""
     rows = {}
     for name, driver in figures.items():
         serial = _time_driver(driver, length, ExperimentExecutor())
         cache = ResultCache(os.path.join(cache_root, name))
-        parallel = _time_driver(
-            driver, length, ExperimentExecutor(jobs=jobs, cache=cache)
+        pool = _time_driver(
+            driver, length, ExperimentExecutor(workers=workers, cache=cache)
         )
         warm_executor = ExperimentExecutor(cache=cache)
         warm = _time_driver(driver, length, warm_executor)
         rows[name] = {
             "serial_seconds": round(serial, 3),
-            "parallel_seconds": round(parallel, 3),
-            "parallel_jobs": jobs,
-            "parallel_speedup": round(serial / parallel, 2) if parallel else None,
+            "pool_seconds": round(pool, 3),
+            "pool_workers": workers,
+            "pool_speedup": round(serial / pool, 2) if pool else None,
             "warm_cache_seconds": round(warm, 3),
             "warm_cache_speedup": round(serial / warm, 2) if warm else None,
             "warm_cache_simulated": warm_executor.counters["simulated"],
@@ -144,6 +147,16 @@ def _trajectory_entry(payload):
         entry["warm_cache_speedups"] = {
             name: row.get("warm_cache_speedup") for name, row in figures.items()
         }
+        # Pre-pool artifacts (schema <= 3) recorded ``parallel_speedup``
+        # from the retired per-cell-spawn executor; only carry the pool
+        # number forward when a row actually has one.
+        pool = {
+            name: row["pool_speedup"]
+            for name, row in figures.items()
+            if row.get("pool_speedup") is not None
+        }
+        if pool:
+            entry["pool_speedups"] = pool
     return entry
 
 
@@ -172,7 +185,13 @@ def main(argv=None):
         "--length", type=int, default=4000, help="records per trace (default 4000)"
     )
     parser.add_argument(
-        "--jobs", type=int, default=4, help="workers for the parallel runs"
+        "--workers",
+        type=int,
+        default=None,
+        help="persistent pool size for the pooled runs (wins over --jobs)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="legacy alias for --workers"
     )
     parser.add_argument(
         "--figures",
@@ -213,29 +232,30 @@ def main(argv=None):
         )
 
     cpu_count = multiprocessing.cpu_count()
+    workers = args.workers if args.workers is not None else args.jobs
     figure_rows = {}
     if figures:
-        if args.jobs > cpu_count:
+        if workers > cpu_count:
             print(
-                "note: --jobs %d exceeds the %d available CPU(s); the pool "
-                "adds overhead without speedup on this host" % (args.jobs, cpu_count)
+                "note: --workers %d exceeds the %d available CPU(s); the pool "
+                "adds overhead without speedup on this host" % (workers, cpu_count)
             )
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_root:
             for name in figures:
-                print("benching %s (serial / jobs=%d / warm cache) ..."
-                      % (name, args.jobs))
+                print("benching %s (serial / workers=%d / warm cache) ..."
+                      % (name, workers))
                 figure_rows.update(
-                    bench_figures({name: figures[name]}, args.length, args.jobs,
+                    bench_figures({name: figures[name]}, args.length, workers,
                                   cache_root)
                 )
                 row = figure_rows[name]
                 print(
-                    "  serial %.2fs, parallel %.2fs (%.2fx), warm cache %.2fs "
+                    "  serial %.2fs, pool %.2fs (%.2fx), warm cache %.2fs "
                     "(%.2fx, %d simulated)"
                     % (
                         row["serial_seconds"],
-                        row["parallel_seconds"],
-                        row["parallel_speedup"],
+                        row["pool_seconds"],
+                        row["pool_speedup"],
                         row["warm_cache_seconds"],
                         row["warm_cache_speedup"],
                         row["warm_cache_simulated"],
@@ -244,7 +264,7 @@ def main(argv=None):
 
     trajectory = load_trajectory(args.output)
     payload = {
-        "schema": 3,
+        "schema": 4,
         "trajectory": trajectory,
         "package_version": __version__,
         "python": platform.python_version(),
